@@ -1,0 +1,37 @@
+"""Benchmark fixtures.
+
+Every benchmark regenerates one paper artifact (table or figure) at a
+reduced scale, times it with pytest-benchmark, asserts the paper's
+qualitative claim, and writes the rendered rows/series to
+``results/<artifact>.txt`` so the regenerated evaluation is inspectable
+after a run.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def save_result(results_dir):
+    """Write an artifact's rendered output to results/<name>.txt."""
+
+    def _save(name: str, text: str) -> None:
+        (results_dir / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+
+    return _save
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Time ``fn`` exactly once (experiments are heavy Monte Carlo)."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,67 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out."""
+
+from conftest import run_once
+
+from repro.experiments.ablations import (
+    burn_in_ablation,
+    dimension_sweep,
+    fs_vs_distributed,
+    metropolis_vs_rw,
+    walker_selection_ablation,
+)
+
+
+def test_dimension_sweep(benchmark, save_result):
+    """Error decreases as the frontier dimension grows (Theorem 5.4):
+    the m=1 walk is the worst configuration and large m the best."""
+    result = run_once(
+        benchmark, dimension_sweep, scale=0.3, runs=40,
+        dimensions=(1, 4, 16, 64, 256),
+    )
+    save_result("ablation_dimension_sweep", result.render())
+    errors = list(result.errors.values())
+    assert errors[-1] < errors[0]  # m=256 beats m=1
+    assert min(errors) == errors[-1] or min(errors) == errors[-2]
+
+
+def test_walker_selection(benchmark, save_result):
+    """Algorithm 1's degree-proportional walker choice beats the
+    uniform-walker variant, which breaks the G^m equivalence."""
+    result = run_once(
+        benchmark, walker_selection_ablation, scale=0.3, runs=40
+    )
+    save_result("ablation_walker_selection", result.render())
+    assert (
+        result.errors["FS(degree selection)"]
+        < result.errors["FS(uniform selection)"]
+    )
+
+
+def test_metropolis_vs_rw(benchmark, save_result):
+    """The reweighted RW estimator is at least as accurate as the
+    Metropolis-Hastings walk (Section 7 / [15, 29])."""
+    result = run_once(benchmark, metropolis_vs_rw, scale=0.3, runs=40)
+    save_result("ablation_metropolis_vs_rw", result.render())
+    assert result.errors["RW + eq.(7)"] <= 1.1 * result.errors[
+        "Metropolis-Hastings"
+    ]
+
+
+def test_burn_in(benchmark, save_result):
+    """Burn-in cannot rescue a trapped walker (Section 4.3): FS with no
+    burn-in beats SingleRW at every burn-in level on GAB."""
+    result = run_once(benchmark, burn_in_ablation, scale=0.3, runs=40)
+    save_result("ablation_burn_in", result.render())
+    fs = result.errors["FS(m=64, no burn-in)"]
+    for name, value in result.errors.items():
+        if name.startswith("SingleRW"):
+            assert fs < value
+
+
+def test_fs_vs_distributed(benchmark, save_result):
+    """Theorem 5.5: the distributed realization matches FS."""
+    result = run_once(benchmark, fs_vs_distributed, scale=0.3, runs=40)
+    save_result("ablation_fs_vs_dfs", result.render())
+    fs = result.errors["FS (Algorithm 1)"]
+    dfs = result.errors["Distributed FS"]
+    assert abs(fs - dfs) < 0.25 * max(fs, dfs)

@@ -1,0 +1,15 @@
+"""Figure 1 — SingleRW beats uniformly seeded MultipleRW(10)."""
+
+from conftest import run_once
+
+from repro.experiments.figures import fig1
+
+
+def test_fig1(benchmark, save_result):
+    result = run_once(benchmark, fig1, scale=0.25, runs=40)
+    save_result("fig01", result.render())
+    # The Section 4.4 surprise: m independent walkers from uniform
+    # seeds are *worse* than one walker.
+    assert result.mean_error("SingleRW") < result.mean_error(
+        "MultipleRW(m=10)"
+    )

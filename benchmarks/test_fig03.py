@@ -1,0 +1,16 @@
+"""Figure 3 — Flickr-like in-degree CCDF (descriptive)."""
+
+from conftest import run_once
+
+from repro.experiments.figures import fig3
+
+
+def test_fig3(benchmark, save_result):
+    result = run_once(benchmark, fig3, scale=0.4)
+    save_result("fig03", result.render())
+    ccdf = result.ccdf
+    # Heavy tail: mass extends far beyond the mean on a log scale.
+    assert max(ccdf) > 30
+    assert ccdf[0] > 0.8  # almost every vertex has in-degree >= 1
+    keys = sorted(ccdf)
+    assert all(ccdf[a] >= ccdf[b] for a, b in zip(keys, keys[1:]))

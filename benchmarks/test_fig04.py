@@ -1,0 +1,19 @@
+"""Figure 4 — FS vs baselines on the Flickr LCC (no disconnection)."""
+
+from conftest import run_once
+
+from repro.experiments.figures import fig4
+
+
+def test_fig4(benchmark, save_result):
+    result = run_once(benchmark, fig4, scale=0.25, runs=40, dimension=50)
+    save_result("fig04", result.render())
+    fs = "FS(m=50)"
+    # FS outperforms both baselines even on a connected graph.
+    assert result.mean_error(fs) < result.mean_error("SingleRW")
+    assert result.mean_error(fs) < result.mean_error("MultipleRW(m=50)")
+    # And SingleRW beats uniformly seeded MultipleRW (Figure 4's
+    # "interesting to note").
+    assert result.mean_error("SingleRW") < 1.35 * result.mean_error(
+        "MultipleRW(m=50)"
+    )

@@ -1,0 +1,29 @@
+"""Figure 5 — FS vs baselines on the full (disconnected) Flickr."""
+
+from conftest import run_once
+
+from repro.experiments.figures import fig4, fig5
+
+
+def test_fig5(benchmark, save_result):
+    result = run_once(benchmark, fig5, scale=0.25, runs=40, dimension=50)
+    save_result("fig05", result.render())
+    fs = "FS(m=50)"
+    single = result.mean_error("SingleRW")
+    multiple = result.mean_error("MultipleRW(m=50)")
+    assert result.mean_error(fs) < single
+    assert result.mean_error(fs) < multiple
+
+
+def test_fig5_gap_wider_than_fig4(benchmark, save_result):
+    """Contrasting Figures 4 and 5: disconnected components widen the
+    FS advantage over SingleRW."""
+    lcc = fig4(scale=0.25, runs=40, dimension=50, root_seed=504)
+    full = run_once(
+        benchmark, fig5, scale=0.25, runs=40, dimension=50, root_seed=505
+    )
+    save_result("fig05_vs_fig04", full.render() + "\n\n" + lcc.render())
+    fs = "FS(m=50)"
+    lcc_ratio = lcc.mean_error("SingleRW") / lcc.mean_error(fs)
+    full_ratio = full.mean_error("SingleRW") / full.mean_error(fs)
+    assert full_ratio > lcc_ratio

@@ -1,0 +1,21 @@
+"""Figure 6 — sample paths of theta_hat_1 on the full Flickr."""
+
+from conftest import run_once
+
+from repro.experiments.figures import fig6
+
+
+def test_fig6(benchmark, save_result):
+    result = run_once(
+        benchmark, fig6, scale=0.25, dimension=50, num_paths=4
+    )
+    save_result("fig06", result.render())
+    truth = result.true_value
+    # Every FS path lands near theta_1; SingleRW paths scatter more
+    # (walkers trapped in small components mis-estimate).
+    fs_worst = max(abs(v - truth) for v in result.final_values("FS"))
+    single_worst = max(
+        abs(v - truth) for v in result.final_values("SingleRW")
+    )
+    assert fs_worst < 0.1
+    assert fs_worst <= single_worst

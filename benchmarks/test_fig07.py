@@ -1,0 +1,14 @@
+"""Figure 7 — LiveJournal-like out-degree CCDF (descriptive)."""
+
+from conftest import run_once
+
+from repro.experiments.figures import fig7
+
+
+def test_fig7(benchmark, save_result):
+    result = run_once(benchmark, fig7, scale=0.4)
+    save_result("fig07", result.render())
+    ccdf = result.ccdf
+    assert max(ccdf) > 30  # heavy tail
+    keys = sorted(ccdf)
+    assert all(ccdf[a] >= ccdf[b] for a, b in zip(keys, keys[1:]))

@@ -1,0 +1,21 @@
+"""Figure 9 — sample paths of theta_hat_10 on GAB."""
+
+from conftest import run_once
+
+from repro.experiments.figures import fig9
+
+
+def test_fig9(benchmark, save_result):
+    result = run_once(
+        benchmark, fig9, scale=0.3, dimension=50, num_paths=4
+    )
+    save_result("fig09", result.render())
+    truth = result.true_value
+    assert truth > 0
+    # FS converges on every path; SingleRW paths (stuck on one side of
+    # the bridge) spread far more.
+    fs_spread = max(abs(v - truth) for v in result.final_values("FS"))
+    single_spread = max(
+        abs(v - truth) for v in result.final_values("SingleRW")
+    )
+    assert fs_spread < single_spread

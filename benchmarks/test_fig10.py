@@ -1,0 +1,16 @@
+"""Figure 10 — degree CNMSE on GAB (loosely connected stress test)."""
+
+from conftest import run_once
+
+from repro.experiments.figures import fig10
+
+
+def test_fig10(benchmark, save_result):
+    result = run_once(benchmark, fig10, scale=0.3, runs=40, dimension=50)
+    save_result("fig10", result.render())
+    fs = "FS(m=50)"
+    # The loosely connected case: FS wins clearly against both.
+    assert result.mean_error(fs) < 0.85 * result.mean_error("SingleRW")
+    assert result.mean_error(fs) < 0.85 * result.mean_error(
+        "MultipleRW(m=50)"
+    )

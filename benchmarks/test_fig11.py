@@ -1,0 +1,20 @@
+"""Figure 11 — baselines seeded in steady state catch up with FS."""
+
+from conftest import run_once
+
+from repro.experiments.figures import fig11
+
+
+def test_fig11(benchmark, save_result):
+    result = run_once(benchmark, fig11, scale=0.25, runs=40, dimension=50)
+    save_result("fig11", result.render())
+    fs = "FS(m=50)"
+    stationary_multiple = "MultipleRW(stationary,m=50)"
+    # Stationary-seeded MultipleRW and uniformly seeded FS are now
+    # comparable (Section 6.3's conclusion).
+    assert result.mean_error(stationary_multiple) < 1.5 * result.mean_error(
+        fs
+    )
+    assert result.mean_error(fs) < 1.5 * result.mean_error(
+        stationary_multiple
+    )

@@ -1,0 +1,35 @@
+"""Figure 12 — RE vs RV vs FS NMSE at 100% hit ratio, plus the
+Section 3 closed-form overlays."""
+
+from conftest import run_once
+
+from repro.experiments.figures import fig12
+
+
+def test_fig12(benchmark, save_result):
+    result = run_once(benchmark, fig12, scale=0.25, runs=40, dimension=50)
+    save_result("fig12", result.render())
+    fs = "FS(m=50)"
+    mean_degree = sum(k * v for k, v in result.truth.items())
+
+    def tail(method):
+        return result.tail_mean_error(method, 2 * mean_degree)
+
+    def head(method):
+        curve = result.curves[method]
+        low = [k for k in curve if 0 < k < 0.5 * mean_degree]
+        return sum(curve[k] for k in low) / len(low)
+
+    # The eq. (3)/(4) crossover: edge sampling wins in the tail,
+    # vertex sampling below the mean.
+    assert tail("RandomEdge") < tail("RandomVertex")
+    assert head("RandomVertex") < head("RandomEdge")
+    # FS tracks random edge sampling in the tail.
+    assert tail(fs) < tail("RandomVertex")
+    # The analytic overlays agree with the simulated independent
+    # samplers within a factor ~2 on average (same shape).
+    analytic_rv = result.curves["analytic RV (eq.4)"]
+    simulated_rv = result.curves["RandomVertex"]
+    shared = [k for k in analytic_rv if k in simulated_rv and k > 0]
+    ratio = sum(simulated_rv[k] / analytic_rv[k] for k in shared) / len(shared)
+    assert 0.5 < ratio < 2.0

@@ -1,0 +1,24 @@
+"""Figure 13 — sparse id space: FS robust to low hit ratios."""
+
+from conftest import run_once
+
+from repro.experiments.figures import fig13
+
+
+def test_fig13(benchmark, save_result):
+    result = run_once(benchmark, fig13, scale=0.2, runs=40, dimension=50)
+    save_result("fig13", result.render())
+    fs = next(name for name in result.curves if name.startswith("FS"))
+    vertex = next(
+        name for name in result.curves if name.startswith("RandomVertex")
+    )
+    edge = next(
+        name for name in result.curves if name.startswith("RandomEdge")
+    )
+    # FS outperforms hit-ratio-limited random edge sampling overall and
+    # random vertex sampling everywhere above the smallest degrees
+    # (Section 6.4's conclusion).
+    assert result.mean_error(fs) < result.mean_error(edge)
+    assert result.tail_mean_error(
+        fs, result.average_degree
+    ) < result.tail_mean_error(vertex, result.average_degree)

@@ -1,0 +1,16 @@
+"""Figure 14 — NMSE of special-interest group densities."""
+
+from conftest import run_once
+
+from repro.experiments.figures import fig14
+
+
+def test_fig14(benchmark, save_result):
+    result = run_once(
+        benchmark, fig14, scale=0.25, runs=40, dimension=100, top_groups=8
+    )
+    save_result("fig14", result.render())
+    fs = "FS(m=100)"
+    # FS is clearly superior to both baselines on group densities.
+    assert result.mean_error(fs) < result.mean_error("SingleRW")
+    assert result.mean_error(fs) < result.mean_error("MultipleRW(m=100)")

@@ -1,0 +1,23 @@
+"""Table 1 — dataset summary regeneration."""
+
+from conftest import run_once
+
+from repro.experiments.tables import table1
+
+
+def test_table1(benchmark, save_result):
+    result = run_once(benchmark, table1, scale=0.2)
+    save_result("table1", result.render())
+    names = {s.name for s in result.summaries}
+    assert {"flickr-like", "livejournal-like", "youtube-like"} <= names
+    flickr = next(s for s in result.summaries if s.name == "flickr-like")
+    # the disconnection structure Table 1 documents
+    assert flickr.lcc_size < flickr.num_vertices
+    assert flickr.num_components > 1
+    lj = next(s for s in result.summaries if s.name == "livejournal-like")
+    assert lj.lcc_size / lj.num_vertices > flickr.lcc_size / flickr.num_vertices
+    internet = next(
+        s for s in result.summaries if s.name == "internet-rlt-like"
+    )
+    # router-level graph is the low-degree one, as in the paper
+    assert internet.average_degree < flickr.average_degree

@@ -1,0 +1,28 @@
+"""Table 2 — assortativity bias/NMSE: FS vs MultipleRW vs SingleRW."""
+
+from conftest import run_once
+
+from repro.experiments.tables import table2
+
+
+def test_table2(benchmark, save_result):
+    result = run_once(
+        benchmark, table2, scale=0.12, runs=25, dimension=30
+    )
+    save_result("table2", result.render())
+    assert len(result.rows) == 5
+    gab_row = next(r for r in result.rows if r.graph_name == "gab")
+    # The paper's extreme case: on GAB, SingleRW collapses to estimating
+    # one side's (near-zero) assortativity while FS stays accurate.
+    assert gab_row.error["FS"] < gab_row.error["SingleRW"]
+    assert gab_row.error["FS"] < gab_row.error["MultipleRW"]
+    # FS wins on average across graphs (Table 2's overall story).
+    def total(method):
+        return sum(
+            row.error[method]
+            for row in result.rows
+            if row.error[method] == row.error[method]  # skip NaN
+        )
+
+    assert total("FS") < total("SingleRW")
+    assert total("FS") < total("MultipleRW")

@@ -1,0 +1,24 @@
+"""Table 3 — global clustering coefficient estimates."""
+
+from conftest import run_once
+
+from repro.experiments.tables import table3
+
+
+def test_table3(benchmark, save_result):
+    result = run_once(
+        benchmark, table3, scale=0.12, runs=25, dimension=30,
+        budget_fraction=0.25,
+    )
+    save_result("table3", result.render())
+    assert len(result.rows) == 2
+    for row in result.rows:
+        # every method lands near C (the paper: "small difference"),
+        for method, mean in row.mean_estimate.items():
+            assert abs(mean - row.true_c) < 0.6 * row.true_c + 0.05
+        # and FS beats MultipleRW on every graph (the paper's Table 3
+        # ordering; FS vs SingleRW is a tie on the connected graph).
+        assert row.error["FS"] < row.error["MultipleRW"]
+    fs_total = sum(row.error["FS"] for row in result.rows)
+    srw_total = sum(row.error["SingleRW"] for row in result.rows)
+    assert fs_total <= 1.1 * srw_total

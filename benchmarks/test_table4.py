@@ -1,0 +1,22 @@
+"""Table 4 — worst-case transient vs stationary edge-sampling gap."""
+
+from conftest import run_once
+
+from repro.experiments.tables import table4
+
+
+def test_table4(benchmark, save_result):
+    result = run_once(
+        benchmark, table4, graph_size=150, num_walkers=10, mc_runs=50_000
+    )
+    save_result("table4", result.render())
+    assert len(result.rows) == 3
+    # The Appendix B claim: FS's final-edge law is closer to the
+    # stationary (uniform) edge law than both baselines'.  MRW is worse
+    # on every graph; SRW in aggregate (single rows can sit within the
+    # Monte Carlo max-statistic noise).
+    for row in result.rows:
+        assert row.gaps["FS"] < row.gaps["MRW"]
+    fs_total = sum(row.gaps["FS"] for row in result.rows)
+    srw_total = sum(row.gaps["SRW"] for row in result.rows)
+    assert fs_total < srw_total

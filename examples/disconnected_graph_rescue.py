@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Scenario: the graph is loosely connected and a random walk gets
+trapped — Frontier Sampling doesn't.
+
+This reproduces the paper's GAB stress test (Sections 4.5, 6.1-6.2):
+two Barabási–Albert graphs with very different average degrees (~2 and
+~10) joined by a *single* edge.  A walker that starts on one side
+almost never crosses the bridge within the budget, so its estimate of
+the degree distribution reflects only its side.  FS spreads m dependent
+walkers over the whole graph and keeps them allocated proportionally to
+volume.
+
+Run:  python examples/disconnected_graph_rescue.py
+"""
+
+from repro import FrontierSampler, SingleRandomWalk, barabasi_albert, join_by_bridge
+from repro.estimators import degree_pmf_from_trace
+from repro.metrics import true_degree_pmf
+from repro.util import child_rng
+
+
+def main() -> None:
+    sparse = barabasi_albert(2_000, 1, rng=0)   # average degree ~2
+    dense = barabasi_albert(2_000, 5, rng=1)    # average degree ~10
+    graph = join_by_bridge(sparse, dense)
+    print(
+        f"GAB graph: {graph.num_vertices:,} vertices,"
+        f" {graph.num_edges:,} edges, one bridge edge"
+    )
+
+    target_degree = 10
+    truth = true_degree_pmf(graph)[target_degree]
+    print(f"true fraction of degree-{target_degree} vertices:"
+          f" theta = {truth:.4f}\n")
+
+    budget = graph.num_vertices / 4
+    print(f"{'run':>4} {'SingleRW':>10} {'FS (m=100)':>11}")
+    fs_errors, rw_errors = [], []
+    for run in range(8):
+        rw_trace = SingleRandomWalk().sample(graph, budget, child_rng(5, run))
+        fs_trace = FrontierSampler(100).sample(graph, budget, child_rng(6, run))
+        rw_estimate = degree_pmf_from_trace(graph, rw_trace).get(
+            target_degree, 0.0
+        )
+        fs_estimate = degree_pmf_from_trace(graph, fs_trace).get(
+            target_degree, 0.0
+        )
+        rw_errors.append(abs(rw_estimate - truth))
+        fs_errors.append(abs(fs_estimate - truth))
+        print(f"{run:>4} {rw_estimate:>10.4f} {fs_estimate:>11.4f}")
+
+    print(f"\ntruth {truth:.4f}")
+    print(
+        f"mean |error|: SingleRW {sum(rw_errors) / len(rw_errors):.4f},"
+        f" FS {sum(fs_errors) / len(fs_errors):.4f}"
+    )
+    print(
+        "\nSingleRW's estimates bifurcate: runs seeded in the sparse"
+        "\nhalf report one value, runs seeded in the dense half another"
+        "\n— the walker cannot cross the bridge within the budget."
+        "\nEvery FS run lands near the truth."
+    )
+
+
+if __name__ == "__main__":
+    main()

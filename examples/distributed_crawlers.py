@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Scenario: run Frontier Sampling with *no coordinator* (Theorem 5.5).
+
+Algorithm 1 looks centralized: line 4 picks a walker with probability
+proportional to its current degree, which seems to require global
+knowledge of the frontier.  Theorem 5.5 removes the coordinator: run m
+independent crawlers where *leaving* vertex v costs an
+Exponential(deg(v)) holding time; the merged, time-ordered edge stream
+is an FS trace.
+
+This example runs both realizations side by side on the same graph and
+shows that their estimates agree — and that each distributed walker
+really did act independently (no message ever crosses walkers).
+
+Run:  python examples/distributed_crawlers.py
+"""
+
+from repro import DistributedFrontierSampler, FrontierSampler
+from repro.datasets import youtube_like
+from repro.estimators import degree_ccdf_from_trace
+from repro.metrics import nmse, true_degree_ccdf
+from repro.util import child_rng
+
+
+def main() -> None:
+    dataset = youtube_like(scale=0.5)
+    graph = dataset.graph
+    print(dataset.summary().header())
+    print(dataset.summary().as_row())
+
+    dimension = 64
+    budget = graph.num_vertices / 5
+    runs = 25
+    truth = true_degree_ccdf(graph, dataset.in_degree_of)
+    probe_degrees = [d for d in (1, 3, 10, 30) if truth.get(d, 0) > 0]
+
+    centralized = FrontierSampler(dimension)
+    distributed = DistributedFrontierSampler(dimension)
+
+    print(f"\n{runs} runs each, budget {budget:.0f},"
+          f" m = {dimension} walkers\n")
+    print(f"{'degree':>7} {'truth':>9} {'FS NMSE':>9} {'DFS NMSE':>9}")
+    for degree in probe_degrees:
+        fs_estimates, dfs_estimates = [], []
+        for run in range(runs):
+            fs_trace = centralized.sample(graph, budget, child_rng(1, run))
+            dfs_trace = distributed.sample(graph, budget, child_rng(2, run))
+            fs_estimates.append(
+                degree_ccdf_from_trace(
+                    graph, fs_trace, dataset.in_degree_of
+                ).get(degree, 0.0)
+            )
+            dfs_estimates.append(
+                degree_ccdf_from_trace(
+                    graph, dfs_trace, dataset.in_degree_of
+                ).get(degree, 0.0)
+            )
+        print(
+            f"{degree:>7} {truth[degree]:>9.4f}"
+            f" {nmse(fs_estimates, truth[degree]):>9.3f}"
+            f" {nmse(dfs_estimates, truth[degree]):>9.3f}"
+        )
+
+    # Show the independence: per-walker step counts under DFS follow
+    # each walker's own exponential clock.
+    trace = distributed.sample(graph, budget, rng=123)
+    steps = sorted(len(edges) for edges in trace.per_walker)
+    print(
+        f"\nDFS per-walker steps (min/median/max):"
+        f" {steps[0]}/{steps[len(steps) // 2]}/{steps[-1]}"
+        f" — busier walkers sat on higher-degree vertices,"
+        f"\nreproducing line 4 of Algorithm 1 without any coordination."
+    )
+
+
+if __name__ == "__main__":
+    main()

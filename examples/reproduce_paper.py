@@ -1,0 +1,28 @@
+#!/usr/bin/env python3
+"""Regenerate every table and figure of the paper in one go.
+
+Equivalent to `repro-experiments all`, with a size/runs preset chosen
+to finish in a few minutes.  Output is the same rows/series the paper
+reports, one block per artifact.
+
+Run:  python examples/reproduce_paper.py [--scale 0.25] [--runs 40]
+"""
+
+import argparse
+import sys
+
+from repro.experiments.cli import main as cli_main
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.25)
+    parser.add_argument("--runs", type=int, default=40)
+    args = parser.parse_args()
+    return cli_main(
+        ["all", "--scale", str(args.scale), "--runs", str(args.runs)]
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(main())

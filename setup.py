@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The project metadata lives in pyproject.toml; this file exists so that
+``pip install -e .`` works in environments without the ``wheel``
+package (pip falls back to ``setup.py develop`` when no build backend
+is declared).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,21 @@
+"""Closed-form analytic models from Sections 3 and 4.5 of the paper."""
+
+from repro.analysis.disconnected import (
+    component_edge_probabilities,
+    edge_sampling_imbalance,
+)
+from repro.analysis.vertex_vs_edge import (
+    analytic_nmse_curves,
+    edge_sampling_nmse,
+    predicted_crossover_degree,
+    vertex_sampling_nmse,
+)
+
+__all__ = [
+    "analytic_nmse_curves",
+    "component_edge_probabilities",
+    "edge_sampling_imbalance",
+    "edge_sampling_nmse",
+    "predicted_crossover_degree",
+    "vertex_sampling_nmse",
+]

@@ -1,0 +1,31 @@
+"""Named synthetic stand-ins for the paper's datasets (Table 1).
+
+Each builder is deterministic for a given ``(scale, seed)`` and returns
+a :class:`Dataset` bundling the directed graph (when the original was
+directed), its symmetric walking graph, and group labels.  See
+DESIGN.md §2 for the substitution rationale.
+"""
+
+from repro.datasets.registry import (
+    DATASET_BUILDERS,
+    Dataset,
+    flickr_like,
+    gab,
+    hepth_like,
+    internet_rlt_like,
+    livejournal_like,
+    load,
+    youtube_like,
+)
+
+__all__ = [
+    "DATASET_BUILDERS",
+    "Dataset",
+    "flickr_like",
+    "gab",
+    "hepth_like",
+    "internet_rlt_like",
+    "livejournal_like",
+    "load",
+    "youtube_like",
+]

@@ -1,0 +1,72 @@
+"""Estimators of graph characteristics from sampled data (Section 4.2).
+
+All random-walk estimators consume a :class:`~repro.sampling.base.WalkTrace`
+whose edges were sampled (approximately) uniformly; by Theorem 4.1
+(SLLN) each estimator converges almost surely to the true value.
+
+- vertex label density — eq. (7), the ``1/deg`` reweighted estimator;
+- edge label density — eq. (5);
+- degree distribution (PMF and CCDF) for arbitrary degree labels
+  (in-, out-, or symmetric degree);
+- degree assortativity — Section 4.2.2;
+- global clustering coefficient — Section 4.2.4 / Corollary 4.2;
+- a generic SLLN functional estimator for everything else.
+
+Estimators for independent vertex samples (plain empirical averages)
+live alongside their RW counterparts so experiment code can treat both
+uniformly.
+"""
+
+from repro.estimators.assortativity import (
+    assortativity_from_trace,
+    directed_assortativity_from_trace,
+)
+from repro.estimators.clustering import global_clustering_from_trace
+from repro.estimators.diagnostics import (
+    gelman_rubin,
+    geweke_z,
+    walker_observable_sequences,
+)
+from repro.estimators.size import (
+    estimate_num_edges,
+    estimate_num_vertices,
+    estimate_volume,
+)
+from repro.estimators.degree import (
+    degree_ccdf_from_trace,
+    degree_ccdf_from_vertices,
+    degree_pmf_from_trace,
+    degree_pmf_from_vertices,
+)
+from repro.estimators.edge_density import edge_label_density_from_trace
+from repro.estimators.functionals import (
+    edge_functional_from_trace,
+    vertex_functional_from_trace,
+)
+from repro.estimators.vertex_density import (
+    vertex_label_densities_from_trace,
+    vertex_label_density_from_trace,
+    vertex_label_density_from_vertices,
+)
+
+__all__ = [
+    "assortativity_from_trace",
+    "degree_ccdf_from_trace",
+    "degree_ccdf_from_vertices",
+    "degree_pmf_from_trace",
+    "degree_pmf_from_vertices",
+    "directed_assortativity_from_trace",
+    "edge_functional_from_trace",
+    "edge_label_density_from_trace",
+    "estimate_num_edges",
+    "estimate_num_vertices",
+    "estimate_volume",
+    "gelman_rubin",
+    "geweke_z",
+    "global_clustering_from_trace",
+    "walker_observable_sequences",
+    "vertex_functional_from_trace",
+    "vertex_label_densities_from_trace",
+    "vertex_label_density_from_trace",
+    "vertex_label_density_from_vertices",
+]

@@ -1,0 +1,130 @@
+"""Convergence diagnostics for random-walk estimates.
+
+Section 7 notes that multiple independent walkers "have been used as a
+convergence test in the literature".  This module implements the two
+standard MCMC diagnostics in walker form so a practitioner can ask
+"have my walkers mixed?" before trusting an estimate:
+
+- **Gelman–Rubin** potential scale reduction factor ``R_hat`` across
+  per-walker estimate sequences — near 1 when the walkers agree, large
+  when they are stuck in different regions (exactly the GAB failure
+  mode of Section 6.2);
+- **Geweke** z-score comparing the early and late segments of a single
+  walker's estimate sequence — large |z| flags an unfinished transient.
+
+Both operate on per-walker scalar *observable* sequences extracted
+from a trace (e.g. the running ``1/deg``-weighted indicator used by the
+eq. (7) estimator).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, List, Sequence
+
+from repro.graph.graph import Graph
+from repro.sampling.base import WalkTrace
+
+
+def walker_observable_sequences(
+    graph: Graph,
+    trace: WalkTrace,
+    observable: Callable[[int], float],
+) -> List[List[float]]:
+    """Per-walker sequences of ``observable(v)`` at visited vertices.
+
+    Requires a trace with ``per_walker`` structure (MultipleRW, FS,
+    DFS).  Walkers with empty sub-traces are dropped.
+    """
+    if trace.per_walker is None:
+        raise ValueError(
+            "trace has no per-walker structure; use a multi-walker sampler"
+        )
+    sequences = [
+        [observable(v) for _, v in edges]
+        for edges in trace.per_walker
+        if edges
+    ]
+    if not sequences:
+        raise ValueError("no walker produced any samples")
+    return sequences
+
+
+def gelman_rubin(sequences: Sequence[Sequence[float]]) -> float:
+    """Potential scale reduction factor ``R_hat`` over walker chains.
+
+    Chains are truncated to the shortest length so variances compare
+    like with like.  Requires at least two chains of length >= 2.
+    ``R_hat`` near 1 indicates the chains sample the same distribution;
+    values well above 1 indicate unmixed walkers.  If every chain is
+    internally constant but the chains disagree, returns ``inf``.
+    """
+    chains = [list(c) for c in sequences if len(c) >= 2]
+    if len(chains) < 2:
+        raise ValueError("need at least two chains of length >= 2")
+    length = min(len(c) for c in chains)
+    chains = [c[:length] for c in chains]
+    m = len(chains)
+    n = length
+
+    means = [sum(c) / n for c in chains]
+    grand_mean = sum(means) / m
+    # Between-chain variance (B/n in Gelman-Rubin notation).
+    between = (
+        n * sum((mu - grand_mean) ** 2 for mu in means) / (m - 1)
+    )
+    # Within-chain variance.
+    within = (
+        sum(
+            sum((x - mu) ** 2 for x in chain) / (n - 1)
+            for chain, mu in zip(chains, means)
+        )
+        / m
+    )
+    if within == 0:
+        return 1.0 if between == 0 else float("inf")
+    pooled = (n - 1) / n * within + between / n
+    return math.sqrt(pooled / within)
+
+
+def geweke_z(
+    sequence: Sequence[float],
+    head_fraction: float = 0.1,
+    tail_fraction: float = 0.5,
+) -> float:
+    """Geweke diagnostic: z-score between the head and tail means.
+
+    Uses plain (uncorrected) segment variances — adequate for the
+    comparative use here; |z| >> 2 flags a transient.
+    """
+    n = len(sequence)
+    if n < 10:
+        raise ValueError(f"sequence too short for Geweke ({n} < 10)")
+    if not 0 < head_fraction < 1 or not 0 < tail_fraction < 1:
+        raise ValueError("fractions must be in (0, 1)")
+    if head_fraction + tail_fraction > 1:
+        raise ValueError("head and tail segments must not overlap")
+    head = list(sequence[: max(2, int(n * head_fraction))])
+    tail = list(sequence[n - max(2, int(n * tail_fraction)) :])
+
+    def mean_var(xs):
+        mu = sum(xs) / len(xs)
+        var = sum((x - mu) ** 2 for x in xs) / (len(xs) - 1)
+        return mu, var
+
+    head_mean, head_var = mean_var(head)
+    tail_mean, tail_var = mean_var(tail)
+    denominator = math.sqrt(head_var / len(head) + tail_var / len(tail))
+    if denominator == 0:
+        return 0.0 if head_mean == tail_mean else float("inf")
+    return (head_mean - tail_mean) / denominator
+
+
+def degree_observable(graph: Graph) -> Callable[[int], float]:
+    """The workhorse observable: ``1/deg(v)`` (eq. (7)'s weight).
+
+    Its per-walker running means converge to ``|V|/vol(V)`` on a mixed
+    walk, so disagreement across walkers directly predicts estimator
+    error.
+    """
+    return lambda v: 1.0 / graph.degree(v)

@@ -1,0 +1,68 @@
+"""Edge label density estimator (Section 4.2.1, eq. 5).
+
+``p_l`` is the fraction of *labeled* edges carrying label ``l``.
+Because a stationary RW samples edges uniformly, the estimator is the
+plain average of the label indicator over sampled edges restricted to
+the labeled subset ``E*``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable
+
+from repro.graph.labels import EdgeLabeling
+from repro.sampling.base import WalkTrace
+
+Label = Hashable
+
+
+def edge_label_density_from_trace(
+    trace: WalkTrace,
+    labeling: EdgeLabeling,
+    label: Label,
+) -> float:
+    """Estimate ``p_l`` (eq. 5) from the labeled edges of the trace.
+
+    Edges outside ``E*`` (unlabeled in either orientation) are skipped,
+    exactly as ``B*(B)`` counts only relevant samples.  An orientation
+    ``(u, v)`` is looked up as sampled; labelings that label only the
+    original directed edges implement the paper's ``E* = E_d``.
+    """
+    hits = 0
+    relevant = 0
+    for u, v in trace.edges:
+        if not labeling.is_labeled((u, v)):
+            continue
+        relevant += 1
+        if labeling.has_label((u, v), label):
+            hits += 1
+    if relevant == 0:
+        raise ValueError(
+            "no sampled edge carries any label; cannot form the estimate"
+        )
+    return hits / relevant
+
+
+def edge_label_densities_from_trace(
+    trace: WalkTrace,
+    labeling: EdgeLabeling,
+    labels: Iterable[Label],
+) -> Dict[Label, float]:
+    """Estimate many edge label densities in one pass."""
+    label_list = list(labels)
+    wanted = set(label_list)
+    hits: Dict[Label, int] = {label: 0 for label in label_list}
+    relevant = 0
+    for u, v in trace.edges:
+        edge_labels = labeling.labels_of((u, v))
+        if not edge_labels:
+            continue
+        relevant += 1
+        for label in edge_labels:
+            if label in wanted:
+                hits[label] += 1
+    if relevant == 0:
+        raise ValueError(
+            "no sampled edge carries any label; cannot form the estimate"
+        )
+    return {label: hits[label] / relevant for label in label_list}

@@ -1,0 +1,82 @@
+"""Graph size estimation from random-walk samples.
+
+A natural companion to the paper's estimators: the number of vertices
+``|V|`` and edges ``|E|`` of a crawled graph are themselves unknown
+characteristics.  The classic approach (Katzir, Liberty & Somekh,
+WWW'11 — contemporaneous with the paper and built on the same
+stationary-RW machinery) combines
+
+- the average inverse degree ``Psi_1 = (1/B) sum 1/deg(v_i)``, which
+  converges to ``|V| / vol(V)`` (the paper's own ``S``),
+- the average degree ``Psi_2 = (1/B) sum deg(v_i)``, and
+- the number of *collisions* (sample index pairs that hit the same
+  vertex), which calibrates the absolute scale.
+
+Estimators::
+
+    |V|_hat  =  Psi_1 * Psi_2 * C(B, 2) / collisions
+    vol_hat  =  Psi_2 * C(B, 2) / collisions        (volume = 2|E|)
+
+Both are asymptotically unbiased for a stationary walk; accuracy needs
+``B = Omega(sqrt(|V|))`` so that collisions occur at all.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Tuple
+
+from repro.graph.graph import Graph
+from repro.sampling.base import WalkTrace
+
+
+def _collision_statistics(
+    graph: Graph, trace: WalkTrace
+) -> Tuple[float, float, int, int]:
+    """(Psi_1, Psi_2, collisions, B) over the visited-vertex sequence."""
+    visited = trace.visited_vertices
+    b = len(visited)
+    if b < 2:
+        raise ValueError("need at least two samples to estimate size")
+    inv_sum = 0.0
+    deg_sum = 0.0
+    counts = Counter()
+    for v in visited:
+        degree = graph.degree(v)
+        inv_sum += 1.0 / degree
+        deg_sum += degree
+        counts[v] += 1
+    collisions = sum(c * (c - 1) // 2 for c in counts.values())
+    return inv_sum / b, deg_sum / b, collisions, b
+
+
+def estimate_num_vertices(graph: Graph, trace: WalkTrace) -> float:
+    """Katzir-style ``|V|`` estimate from a stationary RW/FS trace.
+
+    Raises if the trace produced no vertex collisions — the walk was
+    too short relative to the graph and no finite estimate exists.
+    """
+    psi_1, psi_2, collisions, b = _collision_statistics(graph, trace)
+    if collisions == 0:
+        raise ValueError(
+            "no vertex collisions in the trace; increase the budget"
+            " (need B on the order of sqrt(|V|))"
+        )
+    pairs = b * (b - 1) / 2.0
+    return psi_1 * psi_2 * pairs / collisions
+
+
+def estimate_volume(graph: Graph, trace: WalkTrace) -> float:
+    """Estimate ``vol(V) = 2|E|`` from the same collision statistics."""
+    _, psi_2, collisions, b = _collision_statistics(graph, trace)
+    if collisions == 0:
+        raise ValueError(
+            "no vertex collisions in the trace; increase the budget"
+        )
+    pairs = b * (b - 1) / 2.0
+    return psi_2 * pairs / collisions
+
+
+def estimate_num_edges(graph: Graph, trace: WalkTrace) -> float:
+    """Estimate ``|E|`` (undirected edge count)."""
+    return estimate_volume(graph, trace) / 2.0

@@ -1,0 +1,82 @@
+"""Vertex label density estimators (Section 4.2.3, eq. 7).
+
+``theta_l`` is the fraction of vertices of ``G`` carrying label ``l``.
+A stationary RW visits vertices proportionally to degree, so the
+estimator divides each observation by ``deg(v_i)`` and self-normalizes:
+
+    theta_hat_l = (1 / (S B)) * sum_i 1(l in L_v(v_i)) / deg(v_i),
+    S           = (1/B) * sum_i 1 / deg(v_i).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Sequence
+
+from repro.graph.graph import Graph
+from repro.graph.labels import VertexLabeling
+from repro.sampling.base import WalkTrace
+
+Label = Hashable
+
+
+def vertex_label_density_from_trace(
+    graph: Graph,
+    trace: WalkTrace,
+    labeling: VertexLabeling,
+    label: Label,
+) -> float:
+    """Estimate the fraction of vertices carrying ``label`` (eq. 7)."""
+    if not trace.edges:
+        raise ValueError("empty trace; cannot form the estimate")
+    weighted = 0.0
+    normalizer = 0.0
+    for _, v in trace.edges:
+        inv_deg = 1.0 / graph.degree(v)
+        if labeling.has_label(v, label):
+            weighted += inv_deg
+        normalizer += inv_deg
+    return weighted / normalizer
+
+
+def vertex_label_densities_from_trace(
+    graph: Graph,
+    trace: WalkTrace,
+    labeling: VertexLabeling,
+    labels: Iterable[Label],
+) -> Dict[Label, float]:
+    """Estimate many label densities in one pass over the trace.
+
+    Sharing the normalizer ``S`` across labels is both faster and
+    exactly what eq. (7) prescribes (``S`` does not depend on ``l``).
+    """
+    label_list = list(labels)
+    if not trace.edges:
+        raise ValueError("empty trace; cannot form the estimate")
+    weighted: Dict[Label, float] = {label: 0.0 for label in label_list}
+    wanted = set(label_list)
+    normalizer = 0.0
+    for _, v in trace.edges:
+        inv_deg = 1.0 / graph.degree(v)
+        normalizer += inv_deg
+        for label in labeling.labels_of(v):
+            if label in wanted:
+                weighted[label] += inv_deg
+    return {label: weighted[label] / normalizer for label in label_list}
+
+
+def vertex_label_density_from_vertices(
+    vertices: Sequence[int],
+    labeling: VertexLabeling,
+    label: Label,
+) -> float:
+    """Plain empirical fraction, for *uniform* vertex samples.
+
+    Correct for :class:`~repro.sampling.independent.RandomVertexSampler`
+    output and for Metropolis–Hastings visited sequences (both sample
+    vertices uniformly), and wrong for RW traces — use the reweighted
+    estimator for those.
+    """
+    if not vertices:
+        raise ValueError("no vertex samples; cannot form the estimate")
+    hits = sum(1 for v in vertices if labeling.has_label(v, label))
+    return hits / len(vertices)

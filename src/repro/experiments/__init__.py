@@ -1,0 +1,29 @@
+"""Experiment harness and the per-figure/table reproduction drivers.
+
+Every evaluation artifact of the paper has a driver here:
+
+- ``figures.fig1`` … ``figures.fig14`` (Figure 2 is an illustration of
+  the proof, not an experiment) and ``tables.table1`` … ``tables.table4``.
+- Each driver returns a structured result object with a ``render()``
+  method producing the same rows/series the paper prints, so the
+  benchmark harness and the CLI share one code path.
+
+The drivers accept ``scale`` (dataset size multiplier) and ``runs``
+(replications) so the full evaluation stays laptop-sized; EXPERIMENTS.md
+records the paper-vs-measured comparison produced at the default scale.
+"""
+
+from repro.experiments.degree_errors import (
+    DegreeErrorResult,
+    degree_error_experiment,
+)
+from repro.experiments.runner import replicate
+from repro.experiments.samplepaths import SamplePathResult, sample_paths
+
+__all__ = [
+    "DegreeErrorResult",
+    "SamplePathResult",
+    "degree_error_experiment",
+    "replicate",
+    "sample_paths",
+]

@@ -1,0 +1,258 @@
+"""Ablations beyond the paper's printed artifacts.
+
+These probe the design choices DESIGN.md calls out:
+
+- ``dimension_sweep`` — FS error as a function of the frontier
+  dimension ``m`` (Theorem 5.4 says the uniform-seeding advantage grows
+  with m; m=1 degenerates to SingleRW).
+- ``walker_selection_ablation`` — Algorithm 1's degree-proportional
+  walker choice vs a uniform walker choice (breaking the G^m
+  equivalence), showing line 4 is load-bearing.
+- ``metropolis_vs_rw`` — the Section 7 claim that the reweighted RW
+  estimator beats the Metropolis-Hastings walk for degree
+  distributions.
+- ``fs_vs_distributed`` — FS and its exponential-clock realization
+  (Theorem 5.5) produce statistically indistinguishable estimates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.datasets.registry import flickr_like, gab
+from repro.experiments.degree_errors import (
+    DegreeErrorResult,
+    degree_error_experiment,
+)
+from repro.experiments.render import format_float, render_table
+from repro.estimators.degree import (
+    degree_pmf_from_trace,
+    degree_pmf_from_vertices,
+)
+from repro.metrics.errors import nmse
+from repro.metrics.exact import true_degree_pmf
+from repro.sampling.distributed import DistributedFrontierSampler
+from repro.sampling.frontier import FrontierSampler
+from repro.sampling.metropolis import MetropolisHastingsWalk
+from repro.sampling.single import SingleRandomWalk
+from repro.util.rng import child_rng
+
+
+@dataclass
+class SweepResult:
+    """Scalar error per configuration, with a rendered table."""
+
+    title: str
+    errors: Dict[str, float] = field(default_factory=dict)
+
+    def render(self) -> str:
+        rows = [
+            [name, format_float(value, 4)]
+            for name, value in self.errors.items()
+        ]
+        return render_table(self.title, ["configuration", "mean CNMSE"], rows)
+
+
+def dimension_sweep(
+    scale: float = 0.3,
+    runs: int = 40,
+    dimensions: Sequence[int] = (1, 4, 16, 64, 256),
+    root_seed: int = 901,
+) -> SweepResult:
+    """FS error on GAB as the frontier dimension grows.
+
+    m=1 is a single random walk; larger m means more (dependent)
+    walkers covering the loosely connected halves, and a joint start
+    closer to stationarity (Theorem 5.4).
+    """
+    dataset = gab(scale)
+    graph = dataset.graph
+    budget = graph.num_vertices / 2.5
+    samplers = {
+        f"FS(m={m})": FrontierSampler(m) for m in dimensions
+    }
+    result = degree_error_experiment(
+        graph,
+        samplers,
+        budget=budget,
+        runs=runs,
+        root_seed=root_seed,
+        metric="ccdf",
+        title="dimension sweep",
+    )
+    sweep = SweepResult(
+        title=f"FS dimension sweep on GAB (B={budget:.0f}, {runs} runs)"
+    )
+    for m in dimensions:
+        sweep.errors[f"FS(m={m})"] = result.mean_error(f"FS(m={m})")
+    return sweep
+
+
+def walker_selection_ablation(
+    scale: float = 0.3,
+    runs: int = 40,
+    dimension: int = 64,
+    root_seed: int = 902,
+) -> SweepResult:
+    """Degree-proportional vs uniform walker selection in FS.
+
+    The uniform variant is *not* a random walk on G^m: it no longer
+    samples the edge frontier uniformly, so its stationary law is
+    biased and its error should be visibly worse.
+    """
+    dataset = gab(scale)
+    graph = dataset.graph
+    budget = graph.num_vertices / 2.5
+    samplers = {
+        "FS(degree selection)": FrontierSampler(dimension),
+        "FS(uniform selection)": FrontierSampler(
+            dimension, walker_selection="uniform"
+        ),
+    }
+    result = degree_error_experiment(
+        graph,
+        samplers,
+        budget=budget,
+        runs=runs,
+        root_seed=root_seed,
+        metric="ccdf",
+        title="walker selection",
+    )
+    sweep = SweepResult(
+        title=f"Algorithm 1 line 4 ablation on GAB (m={dimension})"
+    )
+    for name in samplers:
+        sweep.errors[name] = result.mean_error(name)
+    return sweep
+
+
+def metropolis_vs_rw(
+    scale: float = 0.3,
+    runs: int = 40,
+    root_seed: int = 903,
+) -> SweepResult:
+    """Degree-pmf NMSE: reweighted RW estimator vs Metropolis walk.
+
+    Both walks get the same budget on the Flickr LCC.  The MH walk
+    samples vertices uniformly, so its estimator is the plain
+    empirical pmf over visited vertices; the RW uses eq. (7).  The
+    literature ([15, 29] via Section 7) finds RW at least as accurate —
+    chiefly because MH wastes budget on rejected moves.
+    """
+    from repro.graph.components import largest_connected_component
+
+    dataset = flickr_like(scale)
+    lcc, _ = largest_connected_component(dataset.graph)
+    budget = lcc.num_vertices / 2.5
+    truth = true_degree_pmf(lcc)
+    probe = [
+        k for k, v in sorted(truth.items(), key=lambda kv: -kv[1])[:8] if v > 0
+    ]
+    rw_estimates: Dict[int, List[float]] = {k: [] for k in probe}
+    mh_estimates: Dict[int, List[float]] = {k: [] for k in probe}
+    rw = SingleRandomWalk()
+    mh = MetropolisHastingsWalk()
+    for run in range(runs):
+        rw_trace = rw.sample(lcc, budget, child_rng(root_seed, run))
+        rw_pmf = degree_pmf_from_trace(lcc, rw_trace)
+        mh_trace = mh.sample(lcc, budget, child_rng(root_seed + 1, run))
+        mh_pmf = degree_pmf_from_vertices(mh_trace.visited, lcc.degree)
+        for k in probe:
+            rw_estimates[k].append(rw_pmf.get(k, 0.0))
+            mh_estimates[k].append(mh_pmf.get(k, 0.0))
+    sweep = SweepResult(
+        title=f"RW (eq. 7) vs Metropolis-Hastings walk"
+        f" (flickr-like LCC, B={budget:.0f})"
+    )
+    sweep.errors["RW + eq.(7)"] = sum(
+        nmse(rw_estimates[k], truth[k]) for k in probe
+    ) / len(probe)
+    sweep.errors["Metropolis-Hastings"] = sum(
+        nmse(mh_estimates[k], truth[k]) for k in probe
+    ) / len(probe)
+    return sweep
+
+
+def burn_in_ablation(
+    scale: float = 0.3,
+    runs: int = 40,
+    burn_ins: Sequence[int] = (0, 50, 200),
+    root_seed: int = 905,
+) -> SweepResult:
+    """Does discarding a burn-in rescue SingleRW on a trappable graph?
+
+    Section 4.3's point: burn-in only addresses non-stationarity, not
+    trapping — a walker stuck on one side of GAB stays stuck no matter
+    how many initial samples are discarded, and the discarded samples
+    are paid for.  FS without any burn-in should beat SingleRW at every
+    burn-in level.
+    """
+    from repro.sampling.burnin import discard_burn_in
+    from repro.estimators.degree import degree_ccdf_from_trace
+    from repro.metrics.errors import nmse_curve
+    from repro.metrics.exact import true_degree_ccdf
+
+    dataset = gab(scale)
+    graph = dataset.graph
+    budget = graph.num_vertices / 2.5
+    truth = true_degree_ccdf(graph)
+    sweep = SweepResult(
+        title=f"Burn-in ablation on GAB (B={budget:.0f}, {runs} runs)"
+    )
+
+    def mean_cnmse(estimates):
+        curve = nmse_curve(estimates, truth)
+        return sum(curve.values()) / len(curve)
+
+    single = SingleRandomWalk()
+    for burn in burn_ins:
+        estimates = []
+        for run in range(runs):
+            trace = single.sample(graph, budget, child_rng(root_seed, run))
+            burned = discard_burn_in(trace, burn)
+            try:
+                estimates.append(degree_ccdf_from_trace(graph, burned))
+            except ValueError:
+                estimates.append({})
+        sweep.errors[f"SingleRW(burn-in={burn})"] = mean_cnmse(estimates)
+
+    fs = FrontierSampler(64)
+    estimates = []
+    for run in range(runs):
+        trace = fs.sample(graph, budget, child_rng(root_seed + 1, run))
+        estimates.append(degree_ccdf_from_trace(graph, trace))
+    sweep.errors["FS(m=64, no burn-in)"] = mean_cnmse(estimates)
+    return sweep
+
+
+def fs_vs_distributed(
+    scale: float = 0.3,
+    runs: int = 40,
+    dimension: int = 64,
+    root_seed: int = 904,
+) -> SweepResult:
+    """FS vs its exponential-clock realization (Theorem 5.5)."""
+    dataset = flickr_like(scale)
+    graph = dataset.graph
+    budget = graph.num_vertices / 2.5
+    samplers = {
+        "FS (Algorithm 1)": FrontierSampler(dimension),
+        "Distributed FS": DistributedFrontierSampler(dimension),
+    }
+    result = degree_error_experiment(
+        graph,
+        samplers,
+        budget=budget,
+        runs=runs,
+        root_seed=root_seed,
+        degree_of=dataset.in_degree_of,
+        metric="ccdf",
+        title="fs vs dfs",
+    )
+    sweep = SweepResult(
+        title=f"Theorem 5.5: centralized vs distributed FS (m={dimension})"
+    )
+    for name in samplers:
+        sweep.errors[name] = result.mean_error(name)
+    return sweep

@@ -1,0 +1,118 @@
+"""Command-line entry point: regenerate any table or figure.
+
+    repro-experiments --list
+    repro-experiments fig5 --scale 0.2 --runs 40
+    repro-experiments table2 --runs 50
+    repro-experiments all --scale 0.1 --runs 20
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict
+
+from repro.experiments import ablations, figures, tables
+
+#: experiment id -> (driver, accepts_runs)
+_EXPERIMENTS: Dict[str, Callable] = {
+    "ablation-dimension": ablations.dimension_sweep,
+    "ablation-selection": ablations.walker_selection_ablation,
+    "ablation-metropolis": ablations.metropolis_vs_rw,
+    "ablation-burnin": ablations.burn_in_ablation,
+    "ablation-distributed": ablations.fs_vs_distributed,
+    "table1": tables.table1,
+    "table2": tables.table2,
+    "table3": tables.table3,
+    "table4": tables.table4,
+    "fig1": figures.fig1,
+    "fig3": figures.fig3,
+    "fig4": figures.fig4,
+    "fig5": figures.fig5,
+    "fig6": figures.fig6,
+    "fig7": figures.fig7,
+    "fig8": figures.fig8,
+    "fig9": figures.fig9,
+    "fig10": figures.fig10,
+    "fig11": figures.fig11,
+    "fig12": figures.fig12,
+    "fig13": figures.fig13,
+    "fig14": figures.fig14,
+}
+
+#: drivers that do not take a ``runs`` argument (descriptive artifacts)
+_NO_RUNS = {"table1", "fig3", "fig6", "fig7", "fig9"}
+#: drivers that do not take a ``scale`` argument
+_NO_SCALE = {"table4"}  # table4 sizes its own miniature graphs
+
+
+def _run_one(name: str, scale: float, runs: int) -> str:
+    driver = _EXPERIMENTS[name]
+    kwargs = {}
+    if name not in _NO_SCALE:
+        kwargs["scale"] = scale
+    if name not in _NO_RUNS:
+        if name == "table4":
+            kwargs["mc_runs"] = max(1000, runs * 100)
+        else:
+            kwargs["runs"] = runs
+    result = driver(**kwargs)
+    return result.render()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the paper's tables and figures on"
+        " synthetic stand-in datasets.",
+    )
+    parser.add_argument(
+        "experiment",
+        nargs="?",
+        help="experiment id (fig1..fig14, table1..table4) or 'all'",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list experiment ids and exit"
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="dataset size multiplier (default 1.0 ~= 10^4 vertices)",
+    )
+    parser.add_argument(
+        "--runs",
+        type=int,
+        default=100,
+        help="Monte Carlo replications (default 100)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name in _EXPERIMENTS:
+            print(name)
+        return 0
+    if not args.experiment:
+        parser.error("provide an experiment id or --list")
+
+    names = (
+        list(_EXPERIMENTS)
+        if args.experiment == "all"
+        else [args.experiment]
+    )
+    for name in names:
+        if name not in _EXPERIMENTS:
+            print(
+                f"unknown experiment {name!r}; use --list",
+                file=sys.stderr,
+            )
+            return 2
+        started = time.time()
+        print(_run_one(name, args.scale, args.runs))
+        print(f"  [{name} finished in {time.time() - started:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

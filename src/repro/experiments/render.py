@@ -1,0 +1,42 @@
+"""Plain-text rendering shared by tables, figures and the CLI."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def render_table(
+    title: str, headers: Sequence[str], rows: Sequence[Sequence[str]]
+) -> str:
+    """Fixed-width text table sized to its content."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells for {len(headers)} headers"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = [title]
+    header_line = "  " + "  ".join(
+        h.ljust(widths[i]) for i, h in enumerate(headers)
+    )
+    lines.append(header_line)
+    lines.append("  " + "-" * (len(header_line) - 2))
+    for row in rows:
+        lines.append(
+            "  "
+            + "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def format_float(value: float, digits: int = 4) -> str:
+    """Compact float formatting for table cells."""
+    if value != value:  # NaN
+        return "nan"
+    if value == 0:
+        return "0"
+    if abs(value) >= 10_000 or abs(value) < 10 ** (-digits):
+        return f"{value:.{digits}e}"
+    return f"{value:.{digits}f}"

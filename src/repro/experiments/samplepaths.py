@@ -1,0 +1,180 @@
+"""Sample-path experiments — Figures 6 and 9.
+
+These figures plot the *evolution* of one density estimate
+``theta_hat_l(n)`` as a function of the number of walk steps ``n``,
+for a handful of independent runs, with FS and MultipleRW pinned to
+the same initial vertices.  They make visible *why* the error curves
+differ: walkers trapped in small components keep SingleRW/MultipleRW
+estimates away from the truth while every FS path converges quickly.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.graph.graph import Graph
+from repro.sampling.base import Edge, WalkTrace, uniform_seeds
+from repro.sampling.frontier import FrontierSampler
+from repro.sampling.single import random_walk
+from repro.util.rng import child_rng
+
+DegreeOf = Callable[[int], int]
+
+
+@dataclass
+class SamplePathResult:
+    """Estimate trajectories: method -> list of paths -> checkpoint values."""
+
+    title: str
+    target_degree: int
+    true_value: float
+    checkpoints: List[int]
+    paths: Dict[str, List[List[float]]] = field(default_factory=dict)
+
+    def render(self) -> str:
+        lines = [
+            self.title,
+            f"  theta_{self.target_degree} = {self.true_value:.4f}"
+            f"  ({len(next(iter(self.paths.values())))} paths per method)",
+        ]
+        for method in sorted(self.paths):
+            lines.append(f"  {method}:")
+            header = "    " + f"{'steps':>9} " + " ".join(
+                f"{'path ' + str(i): >9}" for i in range(len(self.paths[method]))
+            )
+            lines.append(header)
+            for c_index, n in enumerate(self.checkpoints):
+                cells = " ".join(
+                    f"{path[c_index]:>9.4f}" for path in self.paths[method]
+                )
+                lines.append("    " + f"{n:>9} " + cells)
+        return "\n".join(lines)
+
+    def final_values(self, method: str) -> List[float]:
+        """Estimate at the last checkpoint, per path."""
+        return [path[-1] for path in self.paths[method]]
+
+
+def _prefix_estimates(
+    graph: Graph,
+    edges: Sequence[Edge],
+    target_degree: int,
+    degree_of: DegreeOf,
+    checkpoints: Sequence[int],
+) -> List[float]:
+    """theta_hat(target) after each checkpoint prefix of ``edges``."""
+    values: List[float] = []
+    weighted = 0.0
+    normalizer = 0.0
+    position = 0
+    for n in checkpoints:
+        while position < min(n, len(edges)):
+            _, v = edges[position]
+            inv_deg = 1.0 / graph.degree(v)
+            normalizer += inv_deg
+            if degree_of(v) == target_degree:
+                weighted += inv_deg
+            position += 1
+        values.append(weighted / normalizer if normalizer > 0 else 0.0)
+    return values
+
+
+def _interleave(per_walker: List[List[Edge]]) -> List[Edge]:
+    """Round-robin merge so step ``n`` reflects simultaneous progress.
+
+    MultipleRW's walkers advance in parallel in the thought experiment;
+    a flat walker-after-walker ordering would misrepresent "the
+    estimate after n total steps".
+    """
+    merged: List[Edge] = []
+    depth = 0
+    while True:
+        emitted = False
+        for edges in per_walker:
+            if depth < len(edges):
+                merged.append(edges[depth])
+                emitted = True
+        if not emitted:
+            return merged
+        depth += 1
+
+
+def default_checkpoints(total_steps: int, count: int = 12) -> List[int]:
+    """Log-spaced step checkpoints ``1 .. total_steps``."""
+    if total_steps < 1:
+        raise ValueError(f"total_steps must be >= 1, got {total_steps}")
+    points = sorted(
+        {
+            max(1, int(round(total_steps ** (i / (count - 1)))))
+            for i in range(count)
+        }
+    )
+    if points[-1] != total_steps:
+        points.append(total_steps)
+    return points
+
+
+def sample_paths(
+    graph: Graph,
+    target_degree: int,
+    true_value: float,
+    dimension: int,
+    total_steps: int,
+    num_paths: int = 4,
+    root_seed: int = 0,
+    degree_of: Optional[DegreeOf] = None,
+    checkpoints: Optional[Sequence[int]] = None,
+    title: str = "sample paths",
+) -> SamplePathResult:
+    """Figures 6/9: trajectories of ``theta_hat(target_degree)``.
+
+    Per path, FS and MultipleRW start from the *same* ``dimension``
+    uniform seeds (as the paper does); SingleRW starts from the first
+    of them.  Every method takes ``total_steps`` steps.
+    """
+    label = degree_of if degree_of is not None else graph.degree
+    marks = list(checkpoints) if checkpoints else default_checkpoints(total_steps)
+    result = SamplePathResult(
+        title=title,
+        target_degree=target_degree,
+        true_value=true_value,
+        checkpoints=marks,
+    )
+    fs_paths: List[List[float]] = []
+    single_paths: List[List[float]] = []
+    multiple_paths: List[List[float]] = []
+    sampler = FrontierSampler(dimension)
+    for path_index in range(num_paths):
+        seed_rng = child_rng(root_seed, path_index)
+        seeds = uniform_seeds(graph, dimension, seed_rng)
+
+        fs_trace = sampler.sample_from(
+            graph, seeds, total_steps, child_rng(root_seed + 1000, path_index)
+        )
+        fs_paths.append(
+            _prefix_estimates(graph, fs_trace.edges, target_degree, label, marks)
+        )
+
+        single_edges = random_walk(
+            graph, seeds[0], total_steps, child_rng(root_seed + 2000, path_index)
+        )
+        single_paths.append(
+            _prefix_estimates(graph, single_edges, target_degree, label, marks)
+        )
+
+        rng = child_rng(root_seed + 3000, path_index)
+        per_walker = [
+            random_walk(graph, seed, total_steps // dimension, rng)
+            for seed in seeds
+        ]
+        multiple_paths.append(
+            _prefix_estimates(
+                graph, _interleave(per_walker), target_degree, label, marks
+            )
+        )
+    result.paths["FS"] = fs_paths
+    result.paths["SingleRW"] = single_paths
+    result.paths["MultipleRW"] = multiple_paths
+    return result

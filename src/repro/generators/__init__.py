@@ -1,0 +1,52 @@
+"""Synthetic graph generators.
+
+These produce the workloads the paper's evaluation runs on: the exact
+``GAB`` construction (two Barabási–Albert graphs joined by one edge,
+Section 6.1), and scaled-down structural stand-ins for the crawled
+Flickr / LiveJournal / YouTube / Internet datasets (power-law
+configuration models with a dominant connected core plus small
+disconnected components, and Zipf-popular group labels).
+"""
+
+from repro.generators.ba import barabasi_albert
+from repro.generators.classic import (
+    complete_graph,
+    cycle_graph,
+    grid_graph,
+    path_graph,
+    star_graph,
+)
+from repro.generators.composite import (
+    disjoint_union,
+    join_by_bridge,
+    with_component_dust,
+)
+from repro.generators.configuration import (
+    configuration_model,
+    directed_configuration_model,
+    power_law_degree_sequence,
+)
+from repro.generators.er import erdos_renyi_gnm, erdos_renyi_gnp
+from repro.generators.smallworld import watts_strogatz
+from repro.generators.social import SocialGraphSpec, social_network, zipf_groups
+
+__all__ = [
+    "SocialGraphSpec",
+    "barabasi_albert",
+    "complete_graph",
+    "configuration_model",
+    "cycle_graph",
+    "directed_configuration_model",
+    "disjoint_union",
+    "erdos_renyi_gnm",
+    "erdos_renyi_gnp",
+    "grid_graph",
+    "join_by_bridge",
+    "path_graph",
+    "power_law_degree_sequence",
+    "social_network",
+    "star_graph",
+    "watts_strogatz",
+    "with_component_dust",
+    "zipf_groups",
+]

@@ -1,0 +1,50 @@
+"""Barabási–Albert preferential attachment [Barabási & Albert 1999].
+
+The paper's ``GAB`` experiment (Sections 6.1–6.2) joins two BA graphs
+with average degrees 2 and 10; average degree in BA is about ``2k``
+where ``k`` is the number of edges each arriving vertex brings.
+"""
+
+from __future__ import annotations
+
+from repro.graph.graph import Graph
+from repro.util.rng import RngLike, ensure_rng
+
+
+def barabasi_albert(num_vertices: int, edges_per_vertex: int, rng: RngLike = None) -> Graph:
+    """Grow a BA graph: each new vertex attaches ``edges_per_vertex``
+    edges to existing vertices chosen proportionally to degree.
+
+    The seed graph is a star on ``edges_per_vertex + 1`` vertices, so
+    the result is always connected and simple.  Preferential attachment
+    is implemented with the standard repeated-endpoints list, giving
+    O(|E|) expected construction time.
+    """
+    k = edges_per_vertex
+    if k < 1:
+        raise ValueError(f"edges_per_vertex must be >= 1, got {k}")
+    if num_vertices < k + 1:
+        raise ValueError(
+            f"need at least edges_per_vertex + 1 = {k + 1} vertices,"
+            f" got {num_vertices}"
+        )
+    generator = ensure_rng(rng)
+    graph = Graph(num_vertices)
+
+    # Seed: star centered at vertex 0 over vertices 0..k.
+    endpoints = []  # each endpoint appears once per incident edge
+    for v in range(1, k + 1):
+        graph.add_edge(0, v)
+        endpoints.append(0)
+        endpoints.append(v)
+
+    for new_vertex in range(k + 1, num_vertices):
+        targets = set()
+        # Rejection-sample k distinct existing vertices, degree-biased.
+        while len(targets) < k:
+            targets.add(endpoints[generator.randrange(len(endpoints))])
+        for target in targets:
+            graph.add_edge(new_vertex, target)
+            endpoints.append(new_vertex)
+            endpoints.append(target)
+    return graph

@@ -1,0 +1,56 @@
+"""Deterministic classic graphs, mostly used as test fixtures."""
+
+from __future__ import annotations
+
+from repro.graph.graph import Graph
+
+
+def path_graph(num_vertices: int) -> Graph:
+    """Path ``0 - 1 - ... - (n-1)``."""
+    graph = Graph(num_vertices)
+    for v in range(num_vertices - 1):
+        graph.add_edge(v, v + 1)
+    return graph
+
+
+def cycle_graph(num_vertices: int) -> Graph:
+    """Cycle on ``num_vertices`` vertices (requires n >= 3)."""
+    if num_vertices < 3:
+        raise ValueError(f"a cycle needs >= 3 vertices, got {num_vertices}")
+    graph = path_graph(num_vertices)
+    graph.add_edge(num_vertices - 1, 0)
+    return graph
+
+
+def star_graph(num_leaves: int) -> Graph:
+    """Star: center 0 connected to leaves ``1 .. num_leaves``."""
+    if num_leaves < 1:
+        raise ValueError(f"a star needs >= 1 leaf, got {num_leaves}")
+    graph = Graph(num_leaves + 1)
+    for leaf in range(1, num_leaves + 1):
+        graph.add_edge(0, leaf)
+    return graph
+
+
+def complete_graph(num_vertices: int) -> Graph:
+    """Clique on ``num_vertices`` vertices."""
+    graph = Graph(num_vertices)
+    for u in range(num_vertices):
+        for v in range(u + 1, num_vertices):
+            graph.add_edge(u, v)
+    return graph
+
+
+def grid_graph(rows: int, cols: int) -> Graph:
+    """``rows x cols`` 2-D lattice; vertex ``(r, c)`` has id ``r*cols + c``."""
+    if rows < 1 or cols < 1:
+        raise ValueError(f"grid needs positive dimensions, got {rows}x{cols}")
+    graph = Graph(rows * cols)
+    for r in range(rows):
+        for c in range(cols):
+            v = r * cols + c
+            if c + 1 < cols:
+                graph.add_edge(v, v + 1)
+            if r + 1 < rows:
+                graph.add_edge(v, v + cols)
+    return graph

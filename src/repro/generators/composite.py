@@ -1,0 +1,103 @@
+"""Composite constructions: disjoint unions, bridges, component dust.
+
+``join_by_bridge`` is the paper's ``GAB`` construction (Section 6.1):
+two Barabási–Albert graphs with very different average degrees, joined
+by a single edge between their smallest-degree vertices.  The bridge
+makes the graph *loosely connected* — the pathological case FS is
+designed to survive.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.graph.graph import Graph
+from repro.util.rng import RngLike, ensure_rng
+
+
+def disjoint_union(graphs: Sequence[Graph]) -> Tuple[Graph, List[int]]:
+    """Disjoint union; returns ``(union, offsets)``.
+
+    ``offsets[i]`` is the id shift applied to graph ``i``'s vertices, so
+    original vertex ``v`` of graph ``i`` becomes ``offsets[i] + v``.
+    """
+    if not graphs:
+        raise ValueError("disjoint_union of no graphs")
+    total = sum(g.num_vertices for g in graphs)
+    union = Graph(total)
+    offsets: List[int] = []
+    shift = 0
+    for g in graphs:
+        offsets.append(shift)
+        for u, v in g.edges():
+            union.add_edge(u + shift, v + shift)
+        shift += g.num_vertices
+    return union, offsets
+
+
+def join_by_bridge(a: Graph, b: Graph) -> Graph:
+    """Join two graphs by one edge between their minimum-degree vertices.
+
+    This is the paper's ``GAB``: ties are resolved arbitrarily (we take
+    the smallest vertex id among the minimum-degree vertices).  Isolated
+    vertices are skipped as bridge endpoints — the bridge must attach to
+    the walkable part of each graph.
+    """
+    union, offsets = disjoint_union([a, b])
+
+    def min_degree_vertex(graph: Graph) -> int:
+        best_vertex, best_degree = -1, None
+        for v in graph.vertices():
+            d = graph.degree(v)
+            if d == 0:
+                continue
+            if best_degree is None or d < best_degree:
+                best_vertex, best_degree = v, d
+        if best_degree is None:
+            raise ValueError("graph has no edges; cannot place a bridge")
+        return best_vertex
+
+    endpoint_a = min_degree_vertex(a) + offsets[0]
+    endpoint_b = min_degree_vertex(b) + offsets[1]
+    union.add_edge(endpoint_a, endpoint_b)
+    return union
+
+
+def with_component_dust(
+    core: Graph,
+    num_components: int,
+    component_size: int,
+    rng: RngLike = None,
+) -> Graph:
+    """Append many small connected components ("dust") to ``core``.
+
+    Each dust component is a small connected random graph (a random
+    spanning tree plus a few extra edges), mimicking the small
+    disconnected components of crawled social graphs — the structures
+    that trap SingleRW/MultipleRW walkers in the paper's Figure 6.
+    """
+    if num_components < 0:
+        raise ValueError(f"num_components must be >= 0, got {num_components}")
+    if num_components > 0 and component_size < 2:
+        raise ValueError(
+            f"component_size must be >= 2, got {component_size}"
+        )
+    generator = ensure_rng(rng)
+    graphs = [core]
+    for _ in range(num_components):
+        dust = Graph(component_size)
+        # Random attachment tree keeps it connected.
+        for v in range(1, component_size):
+            dust.add_edge(v, generator.randrange(v))
+        # A couple of extra edges so the dust is not exactly a tree.
+        extra = max(1, component_size // 4)
+        attempts = 0
+        while extra > 0 and attempts < 10 * component_size:
+            u = generator.randrange(component_size)
+            v = generator.randrange(component_size)
+            attempts += 1
+            if u != v and dust.add_edge(u, v):
+                extra -= 1
+        graphs.append(dust)
+    union, _ = disjoint_union(graphs)
+    return union

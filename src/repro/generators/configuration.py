@@ -1,0 +1,135 @@
+"""Configuration-model graphs and power-law degree sequences.
+
+The crawled social graphs in the paper have heavy-tailed degree
+distributions.  Their stand-ins are built from explicit degree
+sequences (discrete power laws with exponential cutoff options) wired
+up with the configuration model; self-loops and parallel edges are
+dropped, which perturbs the realized sequence only slightly at the
+sizes used here.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.graph.digraph import DiGraph
+from repro.graph.graph import Graph
+from repro.util.rng import RngLike, ensure_rng
+
+
+def power_law_degree_sequence(
+    num_vertices: int,
+    exponent: float,
+    min_degree: int = 1,
+    max_degree: Optional[int] = None,
+    rng: RngLike = None,
+) -> List[int]:
+    """Sample i.i.d. degrees from a discrete power law ``P(k) ~ k^-a``.
+
+    Degrees live on ``[min_degree, max_degree]`` (default cutoff is
+    ``sqrt``-ish: ``num_vertices - 1``).  Sampling uses the inverse-CDF
+    over the truncated support, computed once.
+    """
+    if num_vertices < 1:
+        raise ValueError(f"num_vertices must be >= 1, got {num_vertices}")
+    if exponent <= 1.0:
+        raise ValueError(f"exponent must be > 1, got {exponent}")
+    if min_degree < 1:
+        raise ValueError(f"min_degree must be >= 1, got {min_degree}")
+    if max_degree is None:
+        max_degree = num_vertices - 1
+    if max_degree < min_degree:
+        raise ValueError(
+            f"max_degree {max_degree} below min_degree {min_degree}"
+        )
+    generator = ensure_rng(rng)
+    support = list(range(min_degree, max_degree + 1))
+    weights = [k ** (-exponent) for k in support]
+    total = sum(weights)
+    cdf = []
+    acc = 0.0
+    for w in weights:
+        acc += w / total
+        cdf.append(acc)
+    degrees = []
+    for _ in range(num_vertices):
+        u = generator.random()
+        # Binary search the CDF.
+        lo, hi = 0, len(cdf) - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if cdf[mid] < u:
+                lo = mid + 1
+            else:
+                hi = mid
+        degrees.append(support[lo])
+    return degrees
+
+
+def _even_sum(degrees: List[int]) -> List[int]:
+    """Bump one degree so the sequence sums to an even number."""
+    if sum(degrees) % 2 == 1:
+        degrees = list(degrees)
+        degrees[0] += 1
+    return degrees
+
+
+def configuration_model(
+    degrees: Sequence[int], rng: RngLike = None
+) -> Graph:
+    """Wire an undirected graph with (approximately) the given degrees.
+
+    Stubs are paired uniformly at random; self-loops and duplicate
+    edges are discarded (the "erased" configuration model), so realized
+    degrees can be slightly below the requested ones.
+    """
+    if any(d < 0 for d in degrees):
+        raise ValueError("degrees must be non-negative")
+    degree_list = _even_sum(list(degrees))
+    generator = ensure_rng(rng)
+    stubs: List[int] = []
+    for vertex, degree in enumerate(degree_list):
+        stubs.extend([vertex] * degree)
+    generator.shuffle(stubs)
+    graph = Graph(len(degree_list))
+    for i in range(0, len(stubs) - 1, 2):
+        u, v = stubs[i], stubs[i + 1]
+        if u != v:
+            graph.add_edge(u, v)
+    return graph
+
+
+def directed_configuration_model(
+    out_degrees: Sequence[int],
+    in_degrees: Sequence[int],
+    rng: RngLike = None,
+) -> DiGraph:
+    """Wire a directed graph matching out/in degree sequences.
+
+    The two sequences are padded (by trimming the longer total) so the
+    stub counts match; self-loops and duplicate arcs are erased.
+    """
+    if len(out_degrees) != len(in_degrees):
+        raise ValueError(
+            "out_degrees and in_degrees must have the same length"
+        )
+    if any(d < 0 for d in out_degrees) or any(d < 0 for d in in_degrees):
+        raise ValueError("degrees must be non-negative")
+    generator = ensure_rng(rng)
+    out_stubs: List[int] = []
+    in_stubs: List[int] = []
+    for vertex, degree in enumerate(out_degrees):
+        out_stubs.extend([vertex] * degree)
+    for vertex, degree in enumerate(in_degrees):
+        in_stubs.extend([vertex] * degree)
+    # Trim the longer side uniformly so totals match.
+    generator.shuffle(out_stubs)
+    generator.shuffle(in_stubs)
+    length = min(len(out_stubs), len(in_stubs))
+    out_stubs = out_stubs[:length]
+    in_stubs = in_stubs[:length]
+    graph = DiGraph(len(out_degrees))
+    for u, v in zip(out_stubs, in_stubs):
+        if u != v:
+            graph.add_edge(u, v)
+    return graph

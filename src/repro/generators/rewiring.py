@@ -1,0 +1,134 @@
+"""Degree-preserving rewiring toward a target degree correlation.
+
+The paper's social graphs have non-trivial assortativity (Table 2:
+Flickr r=0.007, LiveJournal r=0.07, Internet RLT r=0.17, YouTube
+r=-0.03).  Plain configuration models are uncorrelated (r ~ 0), which
+makes relative error metrics on ``r`` degenerate.  These rewiring
+passes install correlation without touching the degree sequences —
+the Xulvi-Brunet–Sokolov scheme and its directed analogue.
+
+Each step picks two random edges and re-pairs their endpoints so that
+high-degree attaches to high-degree (assortative) or to low-degree
+(disassortative); re-pairings that would create self-loops or parallel
+edges are skipped.
+"""
+
+from __future__ import annotations
+
+from repro.graph.digraph import DiGraph
+from repro.graph.graph import Graph
+from repro.util.rng import RngLike, ensure_rng
+
+
+def assortative_rewire(
+    graph: Graph,
+    steps: int,
+    rng: RngLike = None,
+    disassortative: bool = False,
+) -> int:
+    """Rewire an undirected graph toward (dis)assortativity in place.
+
+    Performs up to ``steps`` double-edge swaps; each swap removes two
+    edges ``{a, b}``, ``{c, d}`` and reconnects the four endpoints
+    sorted by degree — highest with second-highest (assortative) or
+    highest with lowest (disassortative).  Degree sequence is
+    invariant.  Returns the number of swaps actually applied.
+    """
+    if steps < 0:
+        raise ValueError(f"steps must be >= 0, got {steps}")
+    if graph.num_edges < 2:
+        return 0
+    generator = ensure_rng(rng)
+    edges = list(graph.edges())
+    applied = 0
+    for _ in range(steps):
+        i = generator.randrange(len(edges))
+        j = generator.randrange(len(edges))
+        if i == j:
+            continue
+        a, b = edges[i]
+        c, d = edges[j]
+        endpoints = [a, b, c, d]
+        if len(set(endpoints)) < 4:
+            continue
+        endpoints.sort(key=graph.degree, reverse=True)
+        if disassortative:
+            pairs = [
+                (endpoints[0], endpoints[3]),
+                (endpoints[1], endpoints[2]),
+            ]
+        else:
+            pairs = [
+                (endpoints[0], endpoints[1]),
+                (endpoints[2], endpoints[3]),
+            ]
+        new_first, new_second = pairs
+        if {tuple(sorted(new_first)), tuple(sorted(new_second))} == {
+            tuple(sorted((a, b))),
+            tuple(sorted((c, d))),
+        }:
+            continue
+        if graph.has_edge(*new_first) or graph.has_edge(*new_second):
+            continue
+        graph.remove_edge(a, b)
+        graph.remove_edge(c, d)
+        graph.add_edge(*new_first)
+        graph.add_edge(*new_second)
+        edges[i] = new_first
+        edges[j] = new_second
+        applied += 1
+    return applied
+
+
+def assortative_arc_swaps(
+    digraph: DiGraph,
+    steps: int,
+    rng: RngLike = None,
+    disassortative: bool = False,
+) -> int:
+    """Directed analogue: swap arc *targets* to correlate the source's
+    out-degree with the target's in-degree.
+
+    A step picks arcs ``(a, b)`` and ``(c, d)`` and considers the swap
+    to ``(a, d)``, ``(c, b)``; it is applied when it moves the product
+    sum ``outdeg(src) * indeg(dst)`` in the requested direction.  Both
+    the out-degree and in-degree sequences are invariant.  Returns the
+    number of swaps applied.
+    """
+    if steps < 0:
+        raise ValueError(f"steps must be >= 0, got {steps}")
+    if digraph.num_edges < 2:
+        return 0
+    generator = ensure_rng(rng)
+    arcs = list(digraph.edges())
+    applied = 0
+    for _ in range(steps):
+        i = generator.randrange(len(arcs))
+        j = generator.randrange(len(arcs))
+        if i == j:
+            continue
+        a, b = arcs[i]
+        c, d = arcs[j]
+        if a == d or c == b or b == d or a == c:
+            continue
+        current = (
+            digraph.out_degree(a) * digraph.in_degree(b)
+            + digraph.out_degree(c) * digraph.in_degree(d)
+        )
+        swapped = (
+            digraph.out_degree(a) * digraph.in_degree(d)
+            + digraph.out_degree(c) * digraph.in_degree(b)
+        )
+        improves = swapped < current if disassortative else swapped > current
+        if not improves:
+            continue
+        if digraph.has_edge(a, d) or digraph.has_edge(c, b):
+            continue
+        digraph.remove_edge(a, b)
+        digraph.remove_edge(c, d)
+        digraph.add_edge(a, d)
+        digraph.add_edge(c, b)
+        arcs[i] = (a, d)
+        arcs[j] = (c, b)
+        applied += 1
+    return applied

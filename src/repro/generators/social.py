@@ -1,0 +1,335 @@
+"""Social-network stand-ins: heavy-tailed directed graphs with groups.
+
+The paper's Flickr / LiveJournal / YouTube crawls are not
+redistributable, so experiments run on graphs generated here to match
+the structural features the evaluation actually exercises:
+
+- power-law in- and out-degree distributions (directed configuration
+  model core),
+- one dominant connected component plus many small disconnected
+  components ("dust"), matching Table 1's ``LCC < |V|`` rows,
+- vertex group labels with Zipf-distributed group popularity
+  (Section 6.5: 21% of Flickr users belong to at least one group).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.generators.configuration import (
+    directed_configuration_model,
+    power_law_degree_sequence,
+)
+from repro.graph.digraph import DiGraph
+from repro.graph.labels import VertexLabeling
+from repro.util.alias import AliasTable
+from repro.util.rng import RngLike, ensure_rng
+
+
+@dataclass(frozen=True)
+class SocialGraphSpec:
+    """Parameters of a synthetic social graph.
+
+    ``dust_components`` small components of ``dust_size`` vertices are
+    appended after the configuration-model core, so the fraction of
+    vertices outside the core is ``dust_components * dust_size /
+    num_vertices``.  Groups are assigned to ``member_fraction`` of the
+    vertices; each member joins ``1 + Geometric(extra_group_prob)``
+    groups drawn from a Zipf popularity law.
+    """
+
+    num_vertices: int = 10_000
+    out_exponent: float = 2.2
+    in_exponent: float = 2.0
+    min_degree: int = 1
+    max_degree: Optional[int] = None
+    dust_components: int = 0
+    dust_size: int = 8
+    num_groups: int = 0
+    member_fraction: float = 0.21
+    zipf_exponent: float = 1.2
+    extra_group_prob: float = 0.4
+    #: Split the core into this many loosely interconnected communities.
+    #: Real social graphs are not expanders: a walker entering a
+    #: community tends to stay a while (the "trapping" the paper's
+    #: Section 4.3 describes).  1 = a single configuration-model core.
+    num_communities: int = 1
+    #: Fraction of core arcs added as random cross-community arcs.
+    intercommunity_fraction: float = 0.02
+    #: Degree heterogeneity across communities: community ``i`` of ``C``
+    #: uses ``min_degree * (1 + h * i / (C - 1))`` (rounded).  Non-zero
+    #: values recreate the paper's GA/GB situation — regions with
+    #: different average degree, where uniformly seeded independent
+    #: walkers are misallocated by the factor ``alpha = d_A / d``
+    #: (Section 5.1).
+    community_heterogeneity: float = 0.0
+    #: Degree-preserving arc swaps applied *within* each community, as
+    #: a fraction of its arcs, to install the (dis)assortativity the
+    #: paper's crawled graphs exhibit (Table 2's ``r`` column) without
+    #: adding cross-community shortcuts.
+    assortative_swap_fraction: float = 0.0
+    disassortative: bool = False
+
+    def __post_init__(self):
+        if self.num_vertices < 10:
+            raise ValueError(
+                f"num_vertices must be >= 10, got {self.num_vertices}"
+            )
+        dust_total = self.dust_components * self.dust_size
+        if dust_total >= self.num_vertices:
+            raise ValueError(
+                f"dust ({dust_total} vertices) must be smaller than the"
+                f" graph ({self.num_vertices})"
+            )
+        if not 0.0 <= self.member_fraction <= 1.0:
+            raise ValueError(
+                f"member_fraction must be in [0, 1], got"
+                f" {self.member_fraction}"
+            )
+        if self.num_communities < 1:
+            raise ValueError(
+                f"num_communities must be >= 1, got {self.num_communities}"
+            )
+        if self.intercommunity_fraction < 0:
+            raise ValueError(
+                "intercommunity_fraction must be >= 0, got"
+                f" {self.intercommunity_fraction}"
+            )
+
+
+def _split_sizes(total: int, parts: int) -> List[int]:
+    """Split ``total`` into ``parts`` near-equal positive sizes."""
+    if parts > total:
+        raise ValueError(
+            f"cannot split {total} vertices into {parts} communities"
+        )
+    base = total // parts
+    sizes = [base] * parts
+    for i in range(total - base * parts):
+        sizes[i] += 1
+    return sizes
+
+
+def social_network(
+    spec: SocialGraphSpec, rng: RngLike = None
+) -> Tuple[DiGraph, VertexLabeling]:
+    """Generate the directed graph and its group labeling."""
+    generator = ensure_rng(rng)
+    dust_total = spec.dust_components * spec.dust_size
+    core_size = spec.num_vertices - dust_total
+
+    graph = DiGraph(spec.num_vertices)
+    # Partition the core into communities of near-equal size; each is
+    # its own directed configuration model, then sparse random arcs
+    # connect communities.
+    community_sizes = _split_sizes(core_size, spec.num_communities)
+    offset = 0
+    core_arcs = 0
+    for index, community_size in enumerate(community_sizes):
+        if spec.num_communities > 1 and spec.community_heterogeneity > 0:
+            stretch = 1.0 + (
+                spec.community_heterogeneity
+                * index
+                / (spec.num_communities - 1)
+            )
+            min_degree = max(1, int(round(spec.min_degree * stretch)))
+        else:
+            min_degree = spec.min_degree
+        max_degree = spec.max_degree
+        if max_degree is None:
+            # Cap the tail below the community size; sqrt-ish cutoffs
+            # keep the erased-configuration-model distortion negligible.
+            max_degree = max(min_degree, int(community_size**0.75))
+        out_degrees = power_law_degree_sequence(
+            community_size,
+            spec.out_exponent,
+            min_degree=min_degree,
+            max_degree=max_degree,
+            rng=generator,
+        )
+        in_degrees = power_law_degree_sequence(
+            community_size,
+            spec.in_exponent,
+            min_degree=min_degree,
+            max_degree=max_degree,
+            rng=generator,
+        )
+        community = directed_configuration_model(
+            out_degrees, in_degrees, rng=generator
+        )
+        if spec.assortative_swap_fraction > 0:
+            from repro.generators.rewiring import assortative_arc_swaps
+
+            assortative_arc_swaps(
+                community,
+                int(spec.assortative_swap_fraction * community.num_edges),
+                rng=generator,
+                disassortative=spec.disassortative,
+            )
+        for u, v in community.edges():
+            graph.add_edge(u + offset, v + offset)
+            core_arcs += 1
+        offset += community_size
+
+    if spec.num_communities > 1 and spec.intercommunity_fraction > 0:
+        bridges = max(
+            spec.num_communities - 1,
+            int(spec.intercommunity_fraction * core_arcs),
+        )
+        added = attempts = 0
+        boundaries = []
+        start = 0
+        for community_size in community_sizes:
+            boundaries.append((start, start + community_size))
+            start += community_size
+        while added < bridges and attempts < 100 * bridges:
+            attempts += 1
+            source_c = generator.randrange(spec.num_communities)
+            target_c = generator.randrange(spec.num_communities)
+            if source_c == target_c:
+                continue
+            u = generator.randrange(*boundaries[source_c])
+            v = generator.randrange(*boundaries[target_c])
+            if graph.add_edge(u, v):
+                added += 1
+
+    # Dust: small directed components, each a directed cycle plus a few
+    # chords, appended after the core's vertex ids.
+    base = core_size
+    for _ in range(spec.dust_components):
+        size = spec.dust_size
+        for i in range(size):
+            graph.add_edge(base + i, base + (i + 1) % size)
+        chords = max(1, size // 3)
+        attempts = 0
+        while chords > 0 and attempts < 10 * size:
+            u = base + generator.randrange(size)
+            v = base + generator.randrange(size)
+            attempts += 1
+            if u != v and graph.add_edge(u, v):
+                chords -= 1
+        base += size
+
+    labeling = zipf_groups(
+        spec.num_vertices,
+        spec.num_groups,
+        member_fraction=spec.member_fraction,
+        zipf_exponent=spec.zipf_exponent,
+        extra_group_prob=spec.extra_group_prob,
+        rng=generator,
+    )
+    return graph, labeling
+
+
+def neighborhood_groups(
+    graph,
+    num_groups: int,
+    member_fraction: float = 0.21,
+    zipf_exponent: float = 1.2,
+    rng: RngLike = None,
+) -> VertexLabeling:
+    """Assign groups by spreading from random seeds over neighborhoods.
+
+    Real social-network groups are topology-correlated: members of one
+    group cluster in the same region of the graph.  Each group ``g``
+    gets a Zipf-proportional member budget; membership spreads from a
+    random seed vertex by BFS until the budget is exhausted.  This is
+    what makes group densities hard for a trappable walker — a walker
+    stuck in one region sees wildly wrong densities for groups
+    concentrated elsewhere (the Figure 14 effect).
+
+    ``graph`` is the *symmetric* graph (BFS needs undirected reach).
+    """
+    from collections import deque
+
+    if num_groups < 0:
+        raise ValueError(f"num_groups must be >= 0, got {num_groups}")
+    if not 0.0 <= member_fraction <= 1.0:
+        raise ValueError(
+            f"member_fraction must be in [0, 1], got {member_fraction}"
+        )
+    labeling = VertexLabeling()
+    if num_groups == 0 or member_fraction == 0.0:
+        return labeling
+    generator = ensure_rng(rng)
+    n = graph.num_vertices
+    total_memberships = int(member_fraction * n)
+    weights = [(g + 1) ** (-zipf_exponent) for g in range(num_groups)]
+    weight_sum = sum(weights)
+    for group, weight in enumerate(weights):
+        budget = max(1, int(round(total_memberships * weight / weight_sum)))
+        seed = generator.randrange(n)
+        seen = {seed}
+        queue = deque([seed])
+        members = 0
+        while queue and members < budget:
+            vertex = queue.popleft()
+            labeling.add(vertex, group)
+            members += 1
+            neighbors = list(graph.neighbors(vertex))
+            generator.shuffle(neighbors)
+            for neighbor in neighbors:
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    queue.append(neighbor)
+        # If the seed's component ran dry (disconnected graph), restart
+        # the spread from a fresh random seed.
+        attempts = 0
+        while members < budget and attempts < 20:
+            attempts += 1
+            seed = generator.randrange(n)
+            if seed in seen:
+                continue
+            queue = deque([seed])
+            seen.add(seed)
+            while queue and members < budget:
+                vertex = queue.popleft()
+                labeling.add(vertex, group)
+                members += 1
+                neighbors = list(graph.neighbors(vertex))
+                generator.shuffle(neighbors)
+                for neighbor in neighbors:
+                    if neighbor not in seen:
+                        seen.add(neighbor)
+                        queue.append(neighbor)
+    return labeling
+
+
+def zipf_groups(
+    num_vertices: int,
+    num_groups: int,
+    member_fraction: float = 0.21,
+    zipf_exponent: float = 1.2,
+    extra_group_prob: float = 0.4,
+    rng: RngLike = None,
+) -> VertexLabeling:
+    """Assign group labels ``0 .. num_groups-1`` with Zipf popularity.
+
+    Each vertex independently becomes a "member" with probability
+    ``member_fraction``; members join ``1 + Geometric(extra_group_prob)``
+    groups (with replacement collapsed), each drawn with probability
+    proportional to ``(g + 1) ** -zipf_exponent``.
+    """
+    if num_groups < 0:
+        raise ValueError(f"num_groups must be >= 0, got {num_groups}")
+    if not 0.0 <= extra_group_prob < 1.0:
+        raise ValueError(
+            f"extra_group_prob must be in [0, 1), got {extra_group_prob}"
+        )
+    labeling = VertexLabeling()
+    if num_groups == 0 or member_fraction == 0.0:
+        return labeling
+    generator = ensure_rng(rng)
+    popularity = AliasTable(
+        [(g + 1) ** (-zipf_exponent) for g in range(num_groups)]
+    )
+    for vertex in range(num_vertices):
+        if generator.random() >= member_fraction:
+            continue
+        memberships = 1
+        while generator.random() < extra_group_prob:
+            memberships += 1
+        for _ in range(memberships):
+            labeling.add(vertex, popularity.sample(generator))
+    return labeling

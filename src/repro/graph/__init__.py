@@ -1,0 +1,47 @@
+"""Graph substrate: adjacency-list graphs, components, labels, I/O.
+
+This package is the foundation every sampler walks on.  It provides:
+
+- :class:`~repro.graph.graph.Graph` — a symmetric (undirected) simple
+  graph with O(1) degree lookup and O(1) uniform neighbor selection,
+  the structure a random walker crawls.
+- :class:`~repro.graph.digraph.DiGraph` — a directed graph with
+  separate in/out adjacency, convertible to its symmetric counterpart
+  ``G`` exactly as Section 2 of the paper prescribes.
+- Connected-component machinery (the paper's graphs are disconnected;
+  the LCC restriction experiments need induced subgraphs).
+- Explicit construction of the m-th Cartesian power ``G^m`` used to
+  verify Lemma 5.1 / Theorem 5.2 on small graphs.
+- Vertex/edge label stores, edge-list I/O, and the Table 1 summary.
+"""
+
+from repro.graph.cartesian import cartesian_power, encode_state, decode_state
+from repro.graph.components import (
+    connected_components,
+    induced_subgraph,
+    is_connected,
+    largest_connected_component,
+)
+from repro.graph.digraph import DiGraph
+from repro.graph.graph import Graph
+from repro.graph.io import read_edge_list, write_edge_list
+from repro.graph.labels import EdgeLabeling, VertexLabeling
+from repro.graph.summary import GraphSummary, summarize
+
+__all__ = [
+    "DiGraph",
+    "EdgeLabeling",
+    "Graph",
+    "GraphSummary",
+    "VertexLabeling",
+    "cartesian_power",
+    "connected_components",
+    "decode_state",
+    "encode_state",
+    "induced_subgraph",
+    "is_connected",
+    "largest_connected_component",
+    "read_edge_list",
+    "summarize",
+    "write_edge_list",
+]

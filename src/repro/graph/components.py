@@ -1,0 +1,85 @@
+"""Connected components and induced subgraphs.
+
+The paper's datasets are disconnected (Table 1 reports LCC sizes), and
+several experiments restrict the walk to the largest connected
+component.  Components are found with an iterative BFS so very deep
+graphs cannot overflow the recursion limit.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, List, Tuple
+
+from repro.graph.graph import Graph
+
+
+def connected_components(graph: Graph) -> List[List[int]]:
+    """All connected components, each a sorted vertex list.
+
+    Components are returned largest-first (ties broken by smallest
+    contained vertex id) so ``components[0]`` is always the LCC.
+    """
+    seen = [False] * graph.num_vertices
+    components: List[List[int]] = []
+    for start in graph.vertices():
+        if seen[start]:
+            continue
+        seen[start] = True
+        component = [start]
+        queue = deque([start])
+        while queue:
+            u = queue.popleft()
+            for v in graph.neighbors(u):
+                if not seen[v]:
+                    seen[v] = True
+                    component.append(v)
+                    queue.append(v)
+        component.sort()
+        components.append(component)
+    components.sort(key=lambda c: (-len(c), c[0]))
+    return components
+
+
+def is_connected(graph: Graph) -> bool:
+    """True iff the graph has exactly one connected component.
+
+    The empty graph is vacuously connected.
+    """
+    if graph.num_vertices == 0:
+        return True
+    return len(connected_components(graph)) == 1
+
+
+def induced_subgraph(
+    graph: Graph, vertices: Iterable[int]
+) -> Tuple[Graph, Dict[int, int]]:
+    """Subgraph induced by ``vertices`` with dense relabeling.
+
+    Returns ``(subgraph, old_to_new)`` where ``old_to_new`` maps
+    original vertex ids to ids in the subgraph.  Edges with both
+    endpoints inside the vertex set are kept.
+    """
+    vertex_list = sorted(set(vertices))
+    old_to_new = {old: new for new, old in enumerate(vertex_list)}
+    sub = Graph(len(vertex_list))
+    for old in vertex_list:
+        for nbr in graph.neighbors(old):
+            if nbr in old_to_new and old < nbr:
+                sub.add_edge(old_to_new[old], old_to_new[nbr])
+    return sub, old_to_new
+
+
+def largest_connected_component(
+    graph: Graph,
+) -> Tuple[Graph, Dict[int, int]]:
+    """The LCC as an induced subgraph plus the old->new vertex map."""
+    if graph.num_vertices == 0:
+        raise ValueError("the empty graph has no components")
+    components = connected_components(graph)
+    return induced_subgraph(graph, components[0])
+
+
+def component_sizes(graph: Graph) -> List[int]:
+    """Component sizes, largest first."""
+    return [len(c) for c in connected_components(graph)]

@@ -1,0 +1,146 @@
+"""Directed graph with the paper's symmetrization semantics.
+
+The networks the paper crawls are directed (``G_d``): a Flickr user
+subscribing to another is an ordered pair.  The walker, however, can
+retrieve both incoming and outgoing edges of a queried vertex, so it
+effectively walks the symmetric closure ``G``.  Estimators such as the
+degree-assortativity coefficient still need the *original* direction
+and the original in/out-degrees, so :class:`DiGraph` keeps both views.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.graph.graph import Graph
+
+Edge = Tuple[int, int]
+
+
+class DiGraph:
+    """Directed simple graph over dense integer vertices."""
+
+    def __init__(self, num_vertices: int = 0):
+        if num_vertices < 0:
+            raise ValueError(f"num_vertices must be >= 0, got {num_vertices}")
+        self._out: List[List[int]] = [[] for _ in range(num_vertices)]
+        self._in: List[List[int]] = [[] for _ in range(num_vertices)]
+        self._out_sets: List[Set[int]] = [set() for _ in range(num_vertices)]
+        self._num_edges = 0
+
+    @classmethod
+    def from_edges(
+        cls, edges: Iterable[Edge], num_vertices: Optional[int] = None
+    ) -> "DiGraph":
+        """Build from ordered pairs; vertex count inferred if omitted."""
+        edge_list = list(edges)
+        if num_vertices is None:
+            num_vertices = (
+                max((max(u, v) for u, v in edge_list), default=-1) + 1
+            )
+        graph = cls(num_vertices)
+        for u, v in edge_list:
+            graph.add_edge(u, v)
+        return graph
+
+    def add_vertex(self) -> int:
+        self._out.append([])
+        self._in.append([])
+        self._out_sets.append(set())
+        return len(self._out) - 1
+
+    def add_edge(self, u: int, v: int) -> bool:
+        """Insert directed edge ``(u, v)``; returns ``True`` if new."""
+        self._check_vertex(u)
+        self._check_vertex(v)
+        if u == v:
+            raise ValueError(f"self-loops are not allowed (vertex {u})")
+        if v in self._out_sets[u]:
+            return False
+        self._out[u].append(v)
+        self._in[v].append(u)
+        self._out_sets[u].add(v)
+        self._num_edges += 1
+        return True
+
+    def remove_edge(self, u: int, v: int) -> bool:
+        """Delete directed edge ``(u, v)``; returns ``True`` if it
+        existed.  O(deg) — intended for rewiring passes, not hot loops.
+        """
+        self._check_vertex(u)
+        self._check_vertex(v)
+        if v not in self._out_sets[u]:
+            return False
+        self._out[u].remove(v)
+        self._in[v].remove(u)
+        self._out_sets[u].discard(v)
+        self._num_edges -= 1
+        return True
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self._out)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of directed edges."""
+        return self._num_edges
+
+    def vertices(self) -> range:
+        return range(len(self._out))
+
+    def out_degree(self, v: int) -> int:
+        self._check_vertex(v)
+        return len(self._out[v])
+
+    def in_degree(self, v: int) -> int:
+        self._check_vertex(v)
+        return len(self._in[v])
+
+    def out_degrees(self) -> List[int]:
+        return [len(nbrs) for nbrs in self._out]
+
+    def in_degrees(self) -> List[int]:
+        return [len(nbrs) for nbrs in self._in]
+
+    def out_neighbors(self, v: int) -> List[int]:
+        self._check_vertex(v)
+        return self._out[v]
+
+    def in_neighbors(self, v: int) -> List[int]:
+        self._check_vertex(v)
+        return self._in[v]
+
+    def has_edge(self, u: int, v: int) -> bool:
+        self._check_vertex(u)
+        self._check_vertex(v)
+        return v in self._out_sets[u]
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate directed edges in vertex order."""
+        for u, nbrs in enumerate(self._out):
+            for v in nbrs:
+                yield (u, v)
+
+    def to_symmetric(self) -> Graph:
+        """The paper's ``G``: union of both orientations of every edge.
+
+        A pair connected in *either* direction becomes one undirected
+        edge; reciprocal directed pairs collapse.
+        """
+        graph = Graph(self.num_vertices)
+        for u, v in self.edges():
+            graph.add_edge(u, v)
+        return graph
+
+    def __repr__(self) -> str:
+        return (
+            f"DiGraph(num_vertices={self.num_vertices},"
+            f" num_edges={self.num_edges})"
+        )
+
+    def _check_vertex(self, v: int) -> None:
+        if not 0 <= v < len(self._out):
+            raise IndexError(
+                f"vertex {v} out of range [0, {len(self._out)})"
+            )

@@ -1,0 +1,70 @@
+"""Edge-list I/O in the format used by SNAP-style datasets.
+
+Lines are ``u<whitespace>v``; ``#`` starts a comment.  Both directed
+and undirected graphs round-trip through the same text format.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterator, Optional, Tuple, Union
+
+from repro.graph.digraph import DiGraph
+from repro.graph.graph import Graph
+
+PathLike = Union[str, Path]
+
+
+def _parse_lines(path: PathLike) -> Iterator[Tuple[int, int]]:
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_no, line in enumerate(handle, start=1):
+            stripped = line.strip()
+            if not stripped or stripped.startswith("#"):
+                continue
+            parts = stripped.split()
+            if len(parts) < 2:
+                raise ValueError(
+                    f"{path}:{line_no}: expected 'u v', got {stripped!r}"
+                )
+            try:
+                u, v = int(parts[0]), int(parts[1])
+            except ValueError as exc:
+                raise ValueError(
+                    f"{path}:{line_no}: non-integer vertex id in {stripped!r}"
+                ) from exc
+            yield u, v
+
+
+def read_edge_list(
+    path: PathLike,
+    directed: bool = False,
+    num_vertices: Optional[int] = None,
+) -> Union[Graph, DiGraph]:
+    """Read an edge list file into a :class:`Graph` or :class:`DiGraph`.
+
+    Self-loops in the file are skipped (the library's graphs are
+    simple); duplicate edges collapse.
+    """
+    edges = [(u, v) for u, v in _parse_lines(path) if u != v]
+    if directed:
+        return DiGraph.from_edges(edges, num_vertices=num_vertices)
+    return Graph.from_edges(edges, num_vertices=num_vertices)
+
+
+def write_edge_list(
+    graph: Union[Graph, DiGraph], path: PathLike, header: str = ""
+) -> None:
+    """Write the graph's edges to ``path``, one per line.
+
+    Undirected graphs are written with each edge once (``u < v``);
+    directed graphs with every arc.
+    """
+    with open(path, "w", encoding="utf-8") as handle:
+        if header:
+            for line in header.splitlines():
+                handle.write(f"# {line}\n")
+        handle.write(
+            f"# vertices={graph.num_vertices} edges={graph.num_edges}\n"
+        )
+        for u, v in graph.edges():
+            handle.write(f"{u} {v}\n")

@@ -1,0 +1,101 @@
+"""Vertex and edge label stores (Section 2 of the paper).
+
+A label can be anything hashable — a degree, a group id, a hometown.
+Each vertex/edge carries a *set* of labels; unlabeled items simply have
+an empty set.  The estimators only ever ask two questions: "does this
+vertex/edge carry label ``l``?" and "does it carry any label at all?",
+so the store is a thin mapping with those operations made explicit.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Iterator, Set, Tuple
+
+Label = Hashable
+Edge = Tuple[int, int]
+
+
+class VertexLabeling:
+    """Mapping from vertex id to its set of labels."""
+
+    def __init__(self):
+        self._labels: Dict[int, Set[Label]] = {}
+
+    def add(self, vertex: int, label: Label) -> None:
+        """Attach ``label`` to ``vertex``."""
+        self._labels.setdefault(vertex, set()).add(label)
+
+    def add_many(self, vertex: int, labels: Iterable[Label]) -> None:
+        for label in labels:
+            self.add(vertex, label)
+
+    def labels_of(self, vertex: int) -> Set[Label]:
+        """Labels of ``vertex`` (empty set if unlabeled)."""
+        return self._labels.get(vertex, set())
+
+    def has_label(self, vertex: int, label: Label) -> bool:
+        return label in self._labels.get(vertex, ())
+
+    def is_labeled(self, vertex: int) -> bool:
+        return bool(self._labels.get(vertex))
+
+    def labeled_vertices(self) -> Iterator[int]:
+        """Vertices carrying at least one label."""
+        return (v for v, labels in self._labels.items() if labels)
+
+    def all_labels(self) -> Set[Label]:
+        """Union of all label sets."""
+        out: Set[Label] = set()
+        for labels in self._labels.values():
+            out |= labels
+        return out
+
+    def count_with_label(self, label: Label) -> int:
+        """Number of vertices carrying ``label``."""
+        return sum(1 for labels in self._labels.values() if label in labels)
+
+    def __len__(self) -> int:
+        return sum(1 for labels in self._labels.values() if labels)
+
+
+class EdgeLabeling:
+    """Mapping from a *directed* edge ``(u, v)`` to its label set.
+
+    Directed keys let us label only the orientations that exist in the
+    original directed graph ``G_d`` — exactly what the assortativity
+    estimator requires (its ``E*`` equals ``E_d``).
+    """
+
+    def __init__(self):
+        self._labels: Dict[Edge, Set[Label]] = {}
+
+    def add(self, edge: Edge, label: Label) -> None:
+        self._labels.setdefault(edge, set()).add(label)
+
+    def add_many(self, edge: Edge, labels: Iterable[Label]) -> None:
+        for label in labels:
+            self.add(edge, label)
+
+    def labels_of(self, edge: Edge) -> Set[Label]:
+        return self._labels.get(edge, set())
+
+    def has_label(self, edge: Edge, label: Label) -> bool:
+        return label in self._labels.get(edge, ())
+
+    def is_labeled(self, edge: Edge) -> bool:
+        return bool(self._labels.get(edge))
+
+    def labeled_edges(self) -> Iterator[Edge]:
+        return (e for e, labels in self._labels.items() if labels)
+
+    def all_labels(self) -> Set[Label]:
+        out: Set[Label] = set()
+        for labels in self._labels.values():
+            out |= labels
+        return out
+
+    def count_with_label(self, label: Label) -> int:
+        return sum(1 for labels in self._labels.values() if label in labels)
+
+    def __len__(self) -> int:
+        return sum(1 for labels in self._labels.values() if labels)

@@ -1,0 +1,59 @@
+"""Markov-chain-level analysis of the samplers.
+
+This package verifies the paper's theory exactly on small graphs and
+powers the Appendix B / Table 4 convergence experiment:
+
+- transition matrices and stationary laws of the RW on ``G``;
+- the FS chain on ``G^m`` and its equivalence to a single RW on the
+  Cartesian power (Lemma 5.1 / Theorem 5.2);
+- walker-count distributions ``Kfs``, ``Kun``, ``Kmw``
+  (Lemma 5.3, Theorem 5.4, Section 5.1);
+- transient edge-sampling probabilities ``p^(B)_{u,v}`` and the
+  worst-case relative difference from stationarity (Table 4).
+"""
+
+from repro.markov.chain import (
+    distribution_after,
+    is_bipartite,
+    rw_stationary_distribution,
+    rw_transition_matrix,
+    step_distribution,
+    total_variation_distance,
+)
+from repro.markov.frontier_chain import (
+    frontier_stationary_distribution,
+    frontier_transition_matrix,
+)
+from repro.markov.transient import (
+    multiple_rw_worst_case_gap,
+    single_rw_edge_probabilities,
+    single_rw_worst_case_gap,
+    walk_trace_final_edge_gap,
+)
+from repro.markov.walker_counts import (
+    kfs_pmf,
+    kfs_pmf_by_enumeration,
+    kmw_expected_count,
+    kmw_to_uniform_ratio,
+    kun_pmf,
+)
+
+__all__ = [
+    "distribution_after",
+    "frontier_stationary_distribution",
+    "frontier_transition_matrix",
+    "is_bipartite",
+    "kfs_pmf",
+    "kfs_pmf_by_enumeration",
+    "kmw_expected_count",
+    "kmw_to_uniform_ratio",
+    "kun_pmf",
+    "multiple_rw_worst_case_gap",
+    "rw_stationary_distribution",
+    "rw_transition_matrix",
+    "single_rw_edge_probabilities",
+    "single_rw_worst_case_gap",
+    "step_distribution",
+    "total_variation_distance",
+    "walk_trace_final_edge_gap",
+]

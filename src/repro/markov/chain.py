@@ -1,0 +1,117 @@
+"""Random-walk transition structure on a graph.
+
+Dense row-stochastic matrices as lists of lists — adequate for the
+small graphs on which exact chain analysis is feasible, and free of
+array dependencies so the core library stays pure Python.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import List, Sequence
+
+from repro.graph.graph import Graph
+
+Matrix = List[List[float]]
+Distribution = List[float]
+
+
+def rw_transition_matrix(graph: Graph) -> Matrix:
+    """Row-stochastic matrix ``P[u][v] = 1/deg(u)`` for each edge.
+
+    Rows of isolated vertices are all zero (no walk leaves them);
+    callers doing spectral work should restrict to a connected
+    component first.
+    """
+    n = graph.num_vertices
+    matrix = [[0.0] * n for _ in range(n)]
+    for u in graph.vertices():
+        deg = graph.degree(u)
+        if deg == 0:
+            continue
+        share = 1.0 / deg
+        for v in graph.neighbors(u):
+            matrix[u][v] += share
+    return matrix
+
+
+def rw_stationary_distribution(graph: Graph) -> Distribution:
+    """``pi(v) = deg(v) / vol(V)`` — exact, no iteration needed."""
+    volume = graph.volume()
+    if volume == 0:
+        raise ValueError("graph has no edges; stationary law is undefined")
+    return [graph.degree(v) / volume for v in graph.vertices()]
+
+
+def step_distribution(graph: Graph, dist: Sequence[float]) -> Distribution:
+    """One chain step: ``dist' = dist @ P`` without building ``P``."""
+    if len(dist) != graph.num_vertices:
+        raise ValueError(
+            f"distribution has {len(dist)} entries for"
+            f" {graph.num_vertices} vertices"
+        )
+    out = [0.0] * graph.num_vertices
+    for u in graph.vertices():
+        mass = dist[u]
+        if mass == 0.0:
+            continue
+        deg = graph.degree(u)
+        if deg == 0:
+            out[u] += mass  # nowhere to go; mass stays
+            continue
+        share = mass / deg
+        for v in graph.neighbors(u):
+            out[v] += share
+    return out
+
+
+def distribution_after(
+    graph: Graph, dist: Sequence[float], steps: int
+) -> Distribution:
+    """Push ``dist`` through ``steps`` chain steps."""
+    if steps < 0:
+        raise ValueError(f"steps must be >= 0, got {steps}")
+    current = list(dist)
+    for _ in range(steps):
+        current = step_distribution(graph, current)
+    return current
+
+
+def total_variation_distance(
+    p: Sequence[float], q: Sequence[float]
+) -> float:
+    """``(1/2) sum |p_i - q_i|`` over aligned supports."""
+    if len(p) != len(q):
+        raise ValueError("distributions must have equal length")
+    return 0.5 * sum(abs(a - b) for a, b in zip(p, q))
+
+
+def is_bipartite(graph: Graph) -> bool:
+    """BFS 2-coloring; isolated vertices don't affect the answer.
+
+    A connected bipartite graph has a periodic RW — the stationarity
+    results require non-bipartiteness (Theorem 5.2's hypothesis).
+    """
+    color = [-1] * graph.num_vertices
+    for start in graph.vertices():
+        if color[start] != -1 or graph.degree(start) == 0:
+            continue
+        color[start] = 0
+        queue = deque([start])
+        while queue:
+            u = queue.popleft()
+            for v in graph.neighbors(u):
+                if color[v] == -1:
+                    color[v] = 1 - color[u]
+                    queue.append(v)
+                elif color[v] == color[u]:
+                    return False
+    return True
+
+
+def uniform_distribution(graph: Graph) -> Distribution:
+    """Uniform law over all vertices."""
+    n = graph.num_vertices
+    if n == 0:
+        raise ValueError("empty graph")
+    return [1.0 / n] * n

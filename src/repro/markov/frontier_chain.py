@@ -1,0 +1,73 @@
+"""The FS chain on ``G^m``, built explicitly for verification.
+
+Lemma 5.1: one FS step selects an edge of the *edge frontier* uniformly,
+so ``P[L -> L'] = 1 / sum_{v in L} deg(v)`` whenever ``L`` and ``L'``
+differ in exactly one coordinate joined by an edge of ``G``.  These
+helpers build that chain directly from Algorithm 1's dynamics so tests
+can check it coincides with the RW transition matrix of the explicit
+Cartesian power (and that Theorem 5.2's stationary law is correct).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.graph.cartesian import decode_state, encode_state, state_degree
+from repro.graph.graph import Graph
+
+Matrix = List[List[float]]
+Distribution = List[float]
+
+
+def frontier_transition_matrix(
+    graph: Graph, m: int, max_states: int = 50_000
+) -> Matrix:
+    """Transition matrix of Algorithm 1 over encoded frontier states.
+
+    Built from the algorithm (pick walker degree-proportionally, then a
+    uniform neighbor) rather than from the Cartesian-power graph, so
+    comparing it against ``rw_transition_matrix(cartesian_power(G, m))``
+    is a genuine check of Lemma 5.1.
+    """
+    n = graph.num_vertices
+    num_states = n**m
+    if num_states > max_states:
+        raise ValueError(
+            f"G^{m} has {num_states} states, above the cap {max_states}"
+        )
+    matrix = [[0.0] * num_states for _ in range(num_states)]
+    for code in range(num_states):
+        state = decode_state(code, n, m)
+        frontier_volume = state_degree(graph, state)
+        if frontier_volume == 0:
+            continue
+        for i, u in enumerate(state):
+            deg_u = graph.degree(u)
+            if deg_u == 0:
+                continue
+            # P(pick walker i) = deg(u)/vol; P(neighbor v) = 1/deg(u).
+            move_prob = 1.0 / frontier_volume
+            for v in graph.neighbors(u):
+                target = encode_state(state[:i] + (v,) + state[i + 1 :], n)
+                matrix[code][target] += move_prob
+    return matrix
+
+
+def frontier_stationary_distribution(
+    graph: Graph, m: int, max_states: int = 50_000
+) -> Distribution:
+    """Theorem 5.2(II): ``P[L] = sum_i deg(v_i) / (m |V|^{m-1} vol(V))``."""
+    n = graph.num_vertices
+    num_states = n**m
+    if num_states > max_states:
+        raise ValueError(
+            f"G^{m} has {num_states} states, above the cap {max_states}"
+        )
+    volume = graph.volume()
+    if volume == 0:
+        raise ValueError("graph has no edges; stationary law is undefined")
+    denominator = m * (n ** (m - 1)) * volume
+    return [
+        state_degree(graph, decode_state(code, n, m)) / denominator
+        for code in range(num_states)
+    ]

@@ -1,0 +1,54 @@
+"""Spectral diagnostics of the RW chain (ablation support).
+
+The mixing time of a reversible chain is governed by its spectral gap.
+This module is the one place the markov package touches numpy — the
+gap computation is an eigenvalue problem, and numpy is available in
+the evaluation environment.  The core library never imports this
+module implicitly.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.graph.graph import Graph
+from repro.markov.chain import rw_transition_matrix
+
+
+def transition_eigenvalues(graph: Graph) -> List[float]:
+    """Real eigenvalue spectrum of the RW transition matrix, sorted
+    descending.
+
+    The RW chain on an undirected graph is reversible, so its spectrum
+    is real; we symmetrize ``D^{1/2} P D^{-1/2}`` for numerical
+    stability before calling the symmetric eigensolver.
+    """
+    import numpy as np
+
+    degrees = graph.degrees()
+    if any(d == 0 for d in degrees):
+        raise ValueError(
+            "graph has isolated vertices; restrict to a component first"
+        )
+    p = np.array(rw_transition_matrix(graph), dtype=float)
+    sqrt_deg = np.sqrt(np.array(degrees, dtype=float))
+    sym = (sqrt_deg[:, None] * p) / sqrt_deg[None, :]
+    eigenvalues = np.linalg.eigvalsh(sym)
+    return sorted((float(x) for x in eigenvalues), reverse=True)
+
+
+def spectral_gap(graph: Graph) -> float:
+    """``1 - max(|lambda_2|, |lambda_n|)`` — the absolute spectral gap."""
+    eigenvalues = transition_eigenvalues(graph)
+    if len(eigenvalues) < 2:
+        return 1.0
+    slem = max(abs(eigenvalues[1]), abs(eigenvalues[-1]))
+    return 1.0 - slem
+
+
+def relaxation_time(graph: Graph) -> float:
+    """``1 / gap`` — the chain's relaxation time."""
+    gap = spectral_gap(graph)
+    if gap <= 0:
+        return float("inf")
+    return 1.0 / gap

@@ -1,0 +1,114 @@
+"""Walker-count distributions over a vertex subset (Sections 5.1–5.2).
+
+For a proper subset ``V_A`` of a connected graph the paper compares
+three laws for the number of walkers inside ``V_A``:
+
+- ``Kun(m)`` — of ``m`` *uniformly* seeded walkers: Binomial(m, p),
+  ``p = |V_A| / |V|``;
+- ``Kfs(m)`` — FS in steady state: Lemma 5.3's size-biased binomial;
+- ``Kmw(m)`` — m independent walkers in steady state: Binomial with
+  degree-biased success probability ``vol(V_A)/vol(V)``; its mean over
+  the uniform mean is ``alpha_A = d_A / d`` (Section 5.1).
+
+Theorem 5.4: ``Kfs(m)`` converges to ``Kun(m)`` as ``m`` grows — the
+precise sense in which uniformly seeded FS "starts in steady state".
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Sequence, Set
+
+from repro.graph.cartesian import decode_state, state_degree
+from repro.graph.graph import Graph
+from repro.markov.frontier_chain import frontier_stationary_distribution
+
+
+def _subset_stats(graph: Graph, subset: Iterable[int]):
+    subset_set = set(subset)
+    if not subset_set:
+        raise ValueError("subset must be non-empty")
+    n = graph.num_vertices
+    if len(subset_set) >= n:
+        raise ValueError("subset must be a proper subset of V")
+    for v in subset_set:
+        if not 0 <= v < n:
+            raise IndexError(f"vertex {v} out of range [0, {n})")
+    vol_a = graph.volume(subset_set)
+    vol = graph.volume()
+    size_a = len(subset_set)
+    d_a = vol_a / size_a
+    d_b = (vol - vol_a) / (n - size_a)
+    d = vol / n
+    p = size_a / n
+    return subset_set, p, d_a, d_b, d
+
+
+def kun_pmf(m: int, p: float) -> List[float]:
+    """Binomial(m, p) pmf — walkers landing in ``V_A`` under uniform
+    seeding."""
+    if m < 1:
+        raise ValueError(f"m must be >= 1, got {m}")
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"p must be in [0, 1], got {p}")
+    return [
+        math.comb(m, k) * p**k * (1.0 - p) ** (m - k) for k in range(m + 1)
+    ]
+
+
+def kfs_pmf(graph: Graph, subset: Iterable[int], m: int) -> List[float]:
+    """Lemma 5.3's closed form for ``P[Kfs(m) = k]``:
+
+        (1 / (m d)) * C(m, k) p^k (1-p)^(m-k) * (k d_A + (m-k) d_B).
+    """
+    _, p, d_a, d_b, d = _subset_stats(graph, subset)
+    binom = kun_pmf(m, p)
+    return [
+        binom[k] * (k * d_a + (m - k) * d_b) / (m * d) for k in range(m + 1)
+    ]
+
+
+def kfs_pmf_by_enumeration(
+    graph: Graph, subset: Iterable[int], m: int, max_states: int = 50_000
+) -> List[float]:
+    """``P[Kfs(m) = k]`` by summing the exact stationary law over states.
+
+    Brute-force check of Lemma 5.3: enumerate every state of ``G^m``,
+    weight it by Theorem 5.2's stationary probability and bucket by the
+    number of coordinates inside the subset.
+    """
+    subset_set = set(subset)
+    n = graph.num_vertices
+    stationary = frontier_stationary_distribution(graph, m, max_states)
+    pmf = [0.0] * (m + 1)
+    for code, probability in enumerate(stationary):
+        state = decode_state(code, n, m)
+        inside = sum(1 for v in state if v in subset_set)
+        pmf[inside] += probability
+    return pmf
+
+
+def kmw_expected_count(graph: Graph, subset: Iterable[int], m: int) -> float:
+    """``E[Kmw(m)] = m |V_A| d_A / (|V| d)`` — independent walkers in
+    steady state (Section 5.1)."""
+    _, p, d_a, _, d = _subset_stats(graph, subset)
+    return m * p * d_a / d
+
+
+def kmw_to_uniform_ratio(graph: Graph, subset: Iterable[int]) -> float:
+    """``alpha_A = E[Kmw] / E[Kun] = d_A / d`` (Section 5.1).
+
+    Far from 1 whenever the subset's average degree differs from the
+    graph's — the quantitative reason uniformly seeded independent
+    walkers start far from steady state.
+    """
+    _, _, d_a, _, d = _subset_stats(graph, subset)
+    return d_a / d
+
+
+def pmf_total_variation(p: Sequence[float], q: Sequence[float]) -> float:
+    """TV distance between two walker-count pmfs (padded to align)."""
+    length = max(len(p), len(q))
+    padded_p = list(p) + [0.0] * (length - len(p))
+    padded_q = list(q) + [0.0] * (length - len(q))
+    return 0.5 * sum(abs(a - b) for a, b in zip(padded_p, padded_q))

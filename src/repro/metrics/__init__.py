@@ -1,0 +1,37 @@
+"""Exact graph characteristics and the paper's error metrics.
+
+``exact`` computes ground truth directly from the full graph (degree
+distributions, group densities, assortativity, global clustering);
+``errors`` implements NMSE (eq. 1), CNMSE (eq. 2) and relative bias —
+the quantities every results figure and table reports.
+"""
+
+from repro.metrics.errors import (
+    cnmse_curve,
+    nmse,
+    nmse_curve,
+    relative_bias,
+)
+from repro.metrics.exact import (
+    true_degree_ccdf,
+    true_degree_pmf,
+    true_directed_assortativity,
+    true_global_clustering,
+    true_group_densities,
+    true_undirected_assortativity,
+    true_vertex_label_density,
+)
+
+__all__ = [
+    "cnmse_curve",
+    "nmse",
+    "nmse_curve",
+    "relative_bias",
+    "true_degree_ccdf",
+    "true_degree_pmf",
+    "true_directed_assortativity",
+    "true_global_clustering",
+    "true_group_densities",
+    "true_undirected_assortativity",
+    "true_vertex_label_density",
+]

@@ -1,0 +1,53 @@
+"""Graph samplers: Frontier Sampling and every baseline it is compared to.
+
+The samplers share one contract: given a graph, a budget ``B`` (in
+vertex-query units, the paper's convention) and an RNG, produce a
+:class:`~repro.sampling.base.WalkTrace` (sequence of sampled edges) or
+a :class:`~repro.sampling.base.VertexTrace` (independently sampled
+vertices).  Estimators are built on top of these traces.
+
+Samplers implemented:
+
+- :class:`SingleRandomWalk` — the classic RW (Section 4).
+- :class:`MultipleRandomWalk` — ``m`` independent walkers
+  (Section 4.4), with uniform or steady-state (degree-proportional)
+  seeding.
+- :class:`FrontierSampler` — Algorithm 1, the paper's contribution.
+- :class:`DistributedFrontierSampler` — Theorem 5.5's exponential-clock
+  realization of FS.
+- :class:`MetropolisHastingsWalk` — the MRW baseline from Section 7.
+- :class:`RandomVertexSampler` / :class:`RandomEdgeSampler` —
+  independent uniform sampling with the hit-ratio cost model of
+  Sections 3 and 6.4.
+"""
+
+from repro.sampling.base import (
+    Sampler,
+    SeedingMode,
+    VertexTrace,
+    WalkTrace,
+    stationary_seeds,
+    uniform_seeds,
+)
+from repro.sampling.distributed import DistributedFrontierSampler
+from repro.sampling.frontier import FrontierSampler
+from repro.sampling.independent import RandomEdgeSampler, RandomVertexSampler
+from repro.sampling.metropolis import MetropolisHastingsWalk
+from repro.sampling.multiple import MultipleRandomWalk
+from repro.sampling.single import SingleRandomWalk
+
+__all__ = [
+    "DistributedFrontierSampler",
+    "FrontierSampler",
+    "MetropolisHastingsWalk",
+    "MultipleRandomWalk",
+    "RandomEdgeSampler",
+    "RandomVertexSampler",
+    "Sampler",
+    "SeedingMode",
+    "SingleRandomWalk",
+    "VertexTrace",
+    "WalkTrace",
+    "stationary_seeds",
+    "uniform_seeds",
+]

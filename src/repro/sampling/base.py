@@ -1,0 +1,178 @@
+"""Sampler contract, traces, budgets and walker seeding.
+
+Budget semantics follow the paper (Section 2): every vertex query has
+unit cost and the total budget is ``B``.  One random-walk step is one
+query.  Sampling one uniform random vertex costs ``seed_cost`` (the
+paper's ``c``), which exceeds 1 when the user-id space is sparse — the
+hit-ratio experiments of Section 6.4 set ``seed_cost = 1 / hit_ratio``.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.graph.graph import Graph
+from repro.util.alias import AliasTable
+from repro.util.rng import RngLike, ensure_rng
+
+Edge = Tuple[int, int]
+
+#: How walkers choose their initial vertices.
+#: - "uniform": independent uniform vertices (what a practitioner can
+#:   actually do; the regime where FS shines).
+#: - "stationary": independent degree-proportional vertices (walkers
+#:   start in steady state; used by Figure 11).
+SeedingMode = str
+
+_VALID_SEEDING = ("uniform", "stationary")
+
+
+@dataclass
+class WalkTrace:
+    """Output of an edge-sampling (random-walk family) run.
+
+    ``edges[i] = (u_i, v_i)`` is the i-th sampled edge in the order the
+    coordinated process emitted it; ``v_i`` is the walker's position
+    after the step.  ``per_walker`` optionally groups the same edges by
+    the walker that produced them (diagnostics; estimators use the flat
+    sequence).
+    """
+
+    method: str
+    edges: List[Edge]
+    initial_vertices: List[int]
+    budget: float
+    seed_cost: float
+    per_walker: Optional[List[List[Edge]]] = None
+    #: For coordinated multi-walker samplers (FS, DFS): which walker
+    #: made step i.  Lets analyses replay the exact frontier state
+    #: sequence.  None for samplers without that notion.
+    walker_indices: Optional[List[int]] = None
+
+    @property
+    def num_steps(self) -> int:
+        return len(self.edges)
+
+    @property
+    def visited_vertices(self) -> List[int]:
+        """The walker-position sequence ``v_1, ..., v_B`` (estimator input)."""
+        return [v for _, v in self.edges]
+
+    def spent(self) -> float:
+        """Budget consumed: seeds plus one unit per step."""
+        return self.seed_cost * len(self.initial_vertices) + len(self.edges)
+
+
+@dataclass
+class VertexTrace:
+    """Output of independent random vertex sampling.
+
+    ``vertices`` holds only the *valid* hits; the budget also paid for
+    the misses implied by the hit ratio.
+    """
+
+    method: str
+    vertices: List[int]
+    budget: float
+    cost_per_sample: float
+
+    @property
+    def num_samples(self) -> int:
+        return len(self.vertices)
+
+
+class Sampler(abc.ABC):
+    """A sampling method runnable on any :class:`Graph`."""
+
+    #: Human-readable method name used in result tables.
+    name: str = "sampler"
+
+    @abc.abstractmethod
+    def sample(self, graph: Graph, budget: float, rng: RngLike = None):
+        """Spend ``budget`` vertex-query units sampling ``graph``.
+
+        Returns a :class:`WalkTrace` or :class:`VertexTrace` depending
+        on the method.
+        """
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+def _walkable_vertices(graph: Graph) -> List[int]:
+    """Vertices a walker can occupy (degree >= 1).
+
+    The paper assumes every vertex has at least one edge; crawled
+    graphs can still contain isolated ids, which can never be walked
+    from, so seeding skips them.
+    """
+    vertices = [v for v in graph.vertices() if graph.degree(v) > 0]
+    if not vertices:
+        raise ValueError("graph has no vertices with positive degree")
+    return vertices
+
+
+def uniform_seeds(graph: Graph, count: int, rng: random.Random) -> List[int]:
+    """``count`` independent uniform vertices (with replacement).
+
+    Uniform over the walkable (degree >= 1) vertices, matching the
+    paper's random vertex sampling of valid user ids.
+    """
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
+    vertices = _walkable_vertices(graph)
+    return [vertices[rng.randrange(len(vertices))] for _ in range(count)]
+
+
+def stationary_seeds(graph: Graph, count: int, rng: random.Random) -> List[int]:
+    """``count`` independent degree-proportional vertices.
+
+    Starting a walker at a vertex drawn with probability
+    ``deg(v)/vol(V)`` is exactly starting it in steady state
+    (Section 4.5's ideal, realized by Figure 11's experiment).
+    """
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
+    if graph.num_edges == 0:
+        raise ValueError("graph has no edges; stationary law is undefined")
+    table = AliasTable(graph.degrees())
+    return [table.sample(rng) for _ in range(count)]
+
+
+def make_seeds(
+    graph: Graph, count: int, mode: SeedingMode, rng: random.Random
+) -> List[int]:
+    """Dispatch on the seeding mode."""
+    if mode == "uniform":
+        return uniform_seeds(graph, count, rng)
+    if mode == "stationary":
+        return stationary_seeds(graph, count, rng)
+    raise ValueError(
+        f"seeding must be one of {_VALID_SEEDING}, got {mode!r}"
+    )
+
+
+def check_seeding(mode: SeedingMode) -> SeedingMode:
+    """Validate a seeding mode early (at sampler construction)."""
+    if mode not in _VALID_SEEDING:
+        raise ValueError(
+            f"seeding must be one of {_VALID_SEEDING}, got {mode!r}"
+        )
+    return mode
+
+
+def walk_steps(budget: float, num_walkers: int, seed_cost: float) -> int:
+    """Steps left after paying for seeds: ``B - m*c``, floored at 0.
+
+    Matches the paper's accounting in Algorithm 1 (``until n >= B - mc``)
+    and Section 4.4 (each MultipleRW walker performs ``B/m - c`` steps).
+    """
+    if budget < 0:
+        raise ValueError(f"budget must be >= 0, got {budget}")
+    if seed_cost < 0:
+        raise ValueError(f"seed_cost must be >= 0, got {seed_cost}")
+    remaining = budget - num_walkers * seed_cost
+    return max(0, int(remaining))

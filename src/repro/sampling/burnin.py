@@ -1,0 +1,55 @@
+"""Burn-in handling (Section 4.3).
+
+The MCMC literature's standard transient mitigation is to discard the
+first ``w`` samples of a walk.  The paper points out two problems with
+it — it only addresses non-stationarity (not trapping), and ``w`` is
+hard to choose when the graph is unknown — and proposes FS instead.
+These helpers make burn-in available so the comparison can be run (the
+burn-in ablation benchmark quantifies both problems).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import List
+
+from repro.sampling.base import WalkTrace
+
+
+def discard_burn_in(trace: WalkTrace, burn_in: int) -> WalkTrace:
+    """A copy of ``trace`` with its first ``burn_in`` edges removed.
+
+    For multi-walker traces the *per-walker* prefixes are dropped
+    proportionally (each walker discards ``burn_in / m`` of its own
+    steps), matching how a practitioner would burn in m independent
+    chains.  The returned trace's budget still reflects the full spend
+    — burned samples are paid for, just not used.
+    """
+    if burn_in < 0:
+        raise ValueError(f"burn_in must be >= 0, got {burn_in}")
+    if burn_in == 0:
+        return trace
+    if trace.per_walker is None:
+        return replace(
+            trace,
+            edges=trace.edges[burn_in:],
+            per_walker=None,
+            walker_indices=None,
+        )
+    num_walkers = len(trace.per_walker)
+    per_walker_burn = max(1, burn_in // num_walkers)
+    kept_per_walker: List[List] = [
+        edges[per_walker_burn:] for edges in trace.per_walker
+    ]
+    kept_flat = [e for edges in kept_per_walker for e in edges]
+    return replace(
+        trace,
+        edges=kept_flat,
+        per_walker=kept_per_walker,
+        walker_indices=None,  # interleaving no longer meaningful
+    )
+
+
+def effective_sample_count(trace: WalkTrace, burn_in: int) -> int:
+    """Samples left after burn-in (0 when burn-in eats everything)."""
+    return max(0, trace.num_steps - burn_in)

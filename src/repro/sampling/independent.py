@@ -1,0 +1,118 @@
+"""Independent random vertex and random edge sampling (Section 3).
+
+Both methods sample with replacement, uniformly — vertices over ``V``,
+edges over the ``2|E|`` directed orientations (equivalently: uniform
+undirected edge plus a fair orientation coin, which is what the
+estimators expect).
+
+The hit-ratio cost model of Sections 1 and 6.4 is built in: with hit
+ratio ``h`` only a fraction ``h`` of id-space queries land on a valid
+vertex, so each *valid* sample costs ``1/h`` expected budget units.
+The simulation spends the budget query by query, so the number of
+valid samples obtained from a fixed budget is itself random — exactly
+the situation a crawler faces.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.graph.graph import Graph
+from repro.sampling.base import (
+    Edge,
+    Sampler,
+    VertexTrace,
+    WalkTrace,
+)
+from repro.util.alias import AliasTable
+from repro.util.rng import RngLike, ensure_rng
+
+
+class RandomVertexSampler(Sampler):
+    """Uniform independent vertex sampling with a hit-ratio cost model.
+
+    Each unit of budget buys one id-space probe; a probe yields a valid
+    (uniformly random) vertex with probability ``hit_ratio``.
+    """
+
+    name = "RandomVertex"
+
+    def __init__(self, hit_ratio: float = 1.0):
+        if not 0.0 < hit_ratio <= 1.0:
+            raise ValueError(f"hit_ratio must be in (0, 1], got {hit_ratio}")
+        self.hit_ratio = hit_ratio
+
+    def sample(
+        self, graph: Graph, budget: float, rng: RngLike = None
+    ) -> VertexTrace:
+        generator = ensure_rng(rng)
+        if graph.num_vertices == 0:
+            raise ValueError("graph has no vertices")
+        vertices: List[int] = []
+        probes = int(budget)
+        for _ in range(probes):
+            if self.hit_ratio >= 1.0 or generator.random() < self.hit_ratio:
+                vertices.append(graph.random_vertex(generator))
+        return VertexTrace(
+            method=self.name,
+            vertices=vertices,
+            budget=budget,
+            cost_per_sample=1.0 / self.hit_ratio,
+        )
+
+    def __repr__(self) -> str:
+        return f"RandomVertexSampler(hit_ratio={self.hit_ratio})"
+
+
+class RandomEdgeSampler(Sampler):
+    """Uniform independent edge sampling with costs and hit ratio.
+
+    A sampled edge reveals both endpoints, so the paper charges it two
+    budget units (Section 6.4); with hit ratio ``h`` each *attempt*
+    costs ``2`` and succeeds with probability ``h``.  Returned edges
+    are uniform over directed orientations, matching the stationary RW
+    edge law so the same estimators apply verbatim.
+    """
+
+    name = "RandomEdge"
+
+    def __init__(self, hit_ratio: float = 1.0, cost_per_edge: float = 2.0):
+        if not 0.0 < hit_ratio <= 1.0:
+            raise ValueError(f"hit_ratio must be in (0, 1], got {hit_ratio}")
+        if cost_per_edge <= 0:
+            raise ValueError(
+                f"cost_per_edge must be > 0, got {cost_per_edge}"
+            )
+        self.hit_ratio = hit_ratio
+        self.cost_per_edge = cost_per_edge
+
+    def sample(
+        self, graph: Graph, budget: float, rng: RngLike = None
+    ) -> WalkTrace:
+        generator = ensure_rng(rng)
+        if graph.num_edges == 0:
+            raise ValueError("graph has no edges")
+        degree_table = AliasTable(graph.degrees())
+        edges: List[Edge] = []
+        attempts = int(budget / self.cost_per_edge)
+        for _ in range(attempts):
+            if self.hit_ratio < 1.0 and generator.random() >= self.hit_ratio:
+                continue
+            # u proportional to degree then uniform neighbor == uniform
+            # over directed edges.
+            u = degree_table.sample(generator)
+            v = graph.random_neighbor(u, generator)
+            edges.append((u, v))
+        return WalkTrace(
+            method=self.name,
+            edges=edges,
+            initial_vertices=[],
+            budget=budget,
+            seed_cost=0.0,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"RandomEdgeSampler(hit_ratio={self.hit_ratio},"
+            f" cost_per_edge={self.cost_per_edge})"
+        )

@@ -1,0 +1,90 @@
+"""Metropolis–Hastings random walk (MRW) — uniform-vertex baseline.
+
+Section 7 notes that MRW samples *vertices* uniformly (not edges) by
+accepting a proposed move from ``u`` to ``v`` with probability
+``min(1, deg(u)/deg(v))`` and staying put otherwise.  The paper cites
+[15, 29] showing plain RW estimates beat MRW's; the ablation benchmark
+reproduces that comparison.
+
+Because MRW's vertex samples are already uniform, vertex label density
+is estimated by the *plain average* over visited vertices — no ``1/deg``
+reweighting (see :func:`repro.estimators.vertex_density.vertex_density_from_vertices`).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.graph.graph import Graph
+from repro.sampling.base import (
+    Edge,
+    Sampler,
+    SeedingMode,
+    WalkTrace,
+    check_seeding,
+    make_seeds,
+    walk_steps,
+)
+from repro.util.rng import RngLike, ensure_rng
+
+
+class MetropolisHastingsWalk(Sampler):
+    """MH walk targeting the uniform distribution over vertices.
+
+    Rejected proposals re-record the current vertex (a self-transition)
+    and consume one budget unit, mirroring the real crawl cost of the
+    rejected neighbor query.  The trace stores the *visited vertex*
+    sequence via self-edges ``(v, v)`` replaced by the convention of
+    recording the proposal edge only on acceptance; estimator code uses
+    :attr:`visited` for vertex-level estimates.
+    """
+
+    name = "MRW"
+
+    def __init__(self, seeding: SeedingMode = "uniform", seed_cost: float = 1.0):
+        self.seeding = check_seeding(seeding)
+        if seed_cost < 0:
+            raise ValueError(f"seed_cost must be >= 0, got {seed_cost}")
+        self.seed_cost = seed_cost
+
+    def sample(
+        self, graph: Graph, budget: float, rng: RngLike = None
+    ) -> "MetropolisTrace":
+        generator = ensure_rng(rng)
+        start = make_seeds(graph, 1, self.seeding, generator)[0]
+        steps = walk_steps(budget, 1, self.seed_cost)
+        visited: List[int] = []
+        edges: List[Edge] = []
+        current = start
+        for _ in range(steps):
+            proposal = graph.random_neighbor(current, generator)
+            accept = graph.degree(current) / graph.degree(proposal)
+            if generator.random() < accept:
+                edges.append((current, proposal))
+                current = proposal
+            visited.append(current)
+        trace = MetropolisTrace(
+            method=self.name,
+            edges=edges,
+            initial_vertices=[start],
+            budget=budget,
+            seed_cost=self.seed_cost,
+        )
+        trace.visited = visited
+        return trace
+
+    def __repr__(self) -> str:
+        return (
+            f"MetropolisHastingsWalk(seeding={self.seeding!r},"
+            f" seed_cost={self.seed_cost})"
+        )
+
+
+class MetropolisTrace(WalkTrace):
+    """WalkTrace plus the full visited-vertex sequence (incl. holds)."""
+
+    visited: List[int]
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.visited = []

@@ -1,0 +1,75 @@
+"""Single random walk (the paper's SingleRW, Section 4).
+
+At each step the walker at ``v`` picks an incident edge uniformly at
+random and crosses it.  On the symmetric graph ``G`` this chain's
+stationary law samples *edges* uniformly, hence vertices proportional
+to degree.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.graph.graph import Graph
+from repro.sampling.base import (
+    Edge,
+    Sampler,
+    SeedingMode,
+    WalkTrace,
+    check_seeding,
+    make_seeds,
+    walk_steps,
+)
+from repro.util.rng import RngLike, ensure_rng
+
+
+def random_walk(
+    graph: Graph, start: int, num_steps: int, rng
+) -> List[Edge]:
+    """Walk ``num_steps`` edges from ``start``; returns the edge sequence."""
+    if graph.degree(start) == 0:
+        raise ValueError(f"cannot walk from isolated vertex {start}")
+    edges: List[Edge] = []
+    current = start
+    for _ in range(num_steps):
+        nxt = graph.random_neighbor(current, rng)
+        edges.append((current, nxt))
+        current = nxt
+    return edges
+
+
+class SingleRandomWalk(Sampler):
+    """One walker, seeded uniformly (default) or in steady state.
+
+    The single uniform seed costs ``seed_cost`` budget units; the rest
+    of the budget is spent on walk steps.
+    """
+
+    name = "SingleRW"
+
+    def __init__(self, seeding: SeedingMode = "uniform", seed_cost: float = 1.0):
+        self.seeding = check_seeding(seeding)
+        if seed_cost < 0:
+            raise ValueError(f"seed_cost must be >= 0, got {seed_cost}")
+        self.seed_cost = seed_cost
+
+    def sample(
+        self, graph: Graph, budget: float, rng: RngLike = None
+    ) -> WalkTrace:
+        generator = ensure_rng(rng)
+        start = make_seeds(graph, 1, self.seeding, generator)[0]
+        steps = walk_steps(budget, 1, self.seed_cost)
+        edges = random_walk(graph, start, steps, generator)
+        return WalkTrace(
+            method=self.name,
+            edges=edges,
+            initial_vertices=[start],
+            budget=budget,
+            seed_cost=self.seed_cost,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"SingleRandomWalk(seeding={self.seeding!r},"
+            f" seed_cost={self.seed_cost})"
+        )

@@ -1,0 +1,29 @@
+"""Low-level utilities shared by the rest of the library.
+
+This package deliberately has no dependency on the graph or sampling
+layers; it provides seeded random-number management, weighted-sampling
+data structures (Fenwick tree, alias table) and small statistics
+helpers (running moments, empirical distributions).
+"""
+
+from repro.util.alias import AliasTable
+from repro.util.fenwick import FenwickTree
+from repro.util.rng import child_rng, ensure_rng, spawn_rngs
+from repro.util.stats import (
+    OnlineMoments,
+    ccdf_from_pmf,
+    empirical_pmf,
+    normalize_counts,
+)
+
+__all__ = [
+    "AliasTable",
+    "FenwickTree",
+    "OnlineMoments",
+    "ccdf_from_pmf",
+    "child_rng",
+    "empirical_pmf",
+    "ensure_rng",
+    "normalize_counts",
+    "spawn_rngs",
+]

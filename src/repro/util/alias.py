@@ -1,0 +1,72 @@
+"""Walker's alias method for O(1) sampling from a fixed discrete law.
+
+Used where a distribution is sampled many times without changing —
+e.g. degree-proportional (steady-state) seeding of random walkers and
+random edge sampling with replacement.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence
+
+
+class AliasTable:
+    """Constant-time sampler for a fixed discrete distribution.
+
+    Construction is O(n); each draw costs one uniform variate and one
+    comparison.  Weights need not be normalized.
+    """
+
+    def __init__(self, weights: Sequence[float]):
+        n = len(weights)
+        if n == 0:
+            raise ValueError("cannot build an alias table over zero outcomes")
+        total = 0.0
+        for w in weights:
+            if w < 0:
+                raise ValueError(f"weights must be non-negative, got {w}")
+            total += w
+        if total <= 0:
+            raise ValueError("at least one weight must be positive")
+
+        self._n = n
+        self._prob: List[float] = [0.0] * n
+        self._alias: List[int] = [0] * n
+
+        # Scaled weights sum to n; split into under- and over-full bins.
+        scaled = [w * n / total for w in weights]
+        small = [i for i, w in enumerate(scaled) if w < 1.0]
+        large = [i for i, w in enumerate(scaled) if w >= 1.0]
+
+        while small and large:
+            s = small.pop()
+            l = large.pop()
+            self._prob[s] = scaled[s]
+            self._alias[s] = l
+            scaled[l] = (scaled[l] + scaled[s]) - 1.0
+            if scaled[l] < 1.0:
+                small.append(l)
+            else:
+                large.append(l)
+        for leftover in small + large:
+            self._prob[leftover] = 1.0
+            self._alias[leftover] = leftover
+
+    def __len__(self) -> int:
+        return self._n
+
+    def sample(self, rng: random.Random) -> int:
+        """Draw an outcome index proportionally to its weight."""
+        u = rng.random() * self._n
+        i = int(u)
+        if i >= self._n:  # guard against u == n from floating point
+            i = self._n - 1
+        frac = u - i
+        return i if frac < self._prob[i] else self._alias[i]
+
+    def sample_many(self, rng: random.Random, count: int) -> List[int]:
+        """Draw ``count`` independent outcomes."""
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        return [self.sample(rng) for _ in range(count)]

@@ -1,0 +1,85 @@
+"""Shared fixtures: small deterministic graphs used across the suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.generators.classic import (
+    complete_graph,
+    cycle_graph,
+    path_graph,
+    star_graph,
+)
+from repro.graph.digraph import DiGraph
+from repro.graph.graph import Graph
+
+
+@pytest.fixture
+def rng():
+    return random.Random(12345)
+
+
+@pytest.fixture
+def triangle():
+    """K3 — the smallest non-bipartite connected graph."""
+    return complete_graph(3)
+
+
+@pytest.fixture
+def paw():
+    """Triangle with a pendant vertex (degrees 1, 2, 2, 3)."""
+    graph = complete_graph(3)
+    graph.add_vertex()
+    graph.add_edge(0, 3)
+    return graph
+
+
+@pytest.fixture
+def house():
+    """Cycle C5 plus one chord — non-regular, non-bipartite."""
+    graph = cycle_graph(5)
+    graph.add_edge(0, 2)
+    return graph
+
+
+@pytest.fixture
+def two_triangles():
+    """Two disconnected triangles — the minimal disconnected case."""
+    graph = Graph(6)
+    for base in (0, 3):
+        graph.add_edge(base, base + 1)
+        graph.add_edge(base + 1, base + 2)
+        graph.add_edge(base, base + 2)
+    return graph
+
+
+@pytest.fixture
+def bridge_graph():
+    """Two triangles joined by a single bridge edge (loosely connected)."""
+    graph = Graph(6)
+    for base in (0, 3):
+        graph.add_edge(base, base + 1)
+        graph.add_edge(base + 1, base + 2)
+        graph.add_edge(base, base + 2)
+    graph.add_edge(2, 3)
+    return graph
+
+
+@pytest.fixture
+def small_digraph():
+    """A 5-vertex digraph with asymmetric arcs and one reciprocal pair."""
+    return DiGraph.from_edges(
+        [(0, 1), (1, 2), (2, 0), (0, 2), (3, 0), (3, 4)], num_vertices=5
+    )
+
+
+@pytest.fixture
+def star5():
+    return star_graph(5)
+
+
+@pytest.fixture
+def path4():
+    return path_graph(4)

@@ -1,0 +1,84 @@
+"""Tests for the Section 4.5 disconnected-graph model."""
+
+import pytest
+
+from repro.generators.classic import complete_graph, cycle_graph
+from repro.generators.composite import disjoint_union
+from repro.graph.graph import Graph
+from repro.analysis.disconnected import (
+    component_edge_probabilities,
+    edge_sampling_imbalance,
+)
+
+
+@pytest.fixture
+def unbalanced():
+    """Two components, equal sizes, very different volumes: C6 (vol 12)
+    and K6 (vol 30) — the Section 4.5 situation."""
+    union, _ = disjoint_union([cycle_graph(6), complete_graph(6)])
+    return union
+
+
+class TestComponentProbabilities:
+    def test_uniform_seeding_biased(self, unbalanced):
+        rows = component_edge_probabilities(unbalanced, "uniform")
+        # equal h (same sizes) but different volumes -> different p
+        probabilities = sorted(p for _, _, p in rows)
+        assert probabilities[0] != probabilities[1]
+        # the sparse component's edges are oversampled
+        sparse = next(p for size, vol, p in rows if vol == 12)
+        dense = next(p for size, vol, p in rows if vol == 30)
+        assert sparse > dense
+
+    def test_stationary_seeding_uniform(self, unbalanced):
+        rows = component_edge_probabilities(unbalanced, "stationary")
+        probabilities = {round(p, 12) for _, _, p in rows}
+        assert len(probabilities) == 1
+        (p,) = probabilities
+        assert p == pytest.approx(1.0 / unbalanced.volume())
+
+    def test_isolated_components_skipped(self):
+        graph = Graph(4)
+        graph.add_edge(0, 1)
+        rows = component_edge_probabilities(graph, "uniform")
+        assert len(rows) == 1
+
+    def test_invalid_seeding_rejected(self, unbalanced):
+        with pytest.raises(ValueError):
+            component_edge_probabilities(unbalanced, "magic")
+
+    def test_no_edges_rejected(self):
+        with pytest.raises(ValueError):
+            component_edge_probabilities(Graph(3), "uniform")
+
+
+class TestImbalance:
+    def test_connected_graph_balanced(self):
+        assert edge_sampling_imbalance(complete_graph(5)) == pytest.approx(
+            1.0
+        )
+
+    def test_section_45_ratio(self, unbalanced):
+        """p_sparse/p_dense = vol_dense/vol_sparse = 30/12 under uniform
+        seeding with equal component sizes."""
+        assert edge_sampling_imbalance(unbalanced, "uniform") == (
+            pytest.approx(30 / 12)
+        )
+
+    def test_stationary_always_balanced(self, unbalanced):
+        assert edge_sampling_imbalance(
+            unbalanced, "stationary"
+        ) == pytest.approx(1.0)
+
+    def test_matches_gab_style_bias(self):
+        """The imbalance equals the ratio of average degrees when
+        components have equal sizes — the alpha = d_A/d story again."""
+        from repro.generators.ba import barabasi_albert
+
+        sparse = barabasi_albert(200, 1, rng=0)
+        dense = barabasi_albert(200, 5, rng=1)
+        union, _ = disjoint_union([sparse, dense])
+        expected = dense.volume() / sparse.volume()
+        assert edge_sampling_imbalance(union, "uniform") == pytest.approx(
+            expected
+        )

@@ -1,0 +1,123 @@
+"""Tests for the Section 3 closed-form NMSE model (eqs. 3-4)."""
+
+import math
+
+import pytest
+
+from repro.analysis.vertex_vs_edge import (
+    analytic_nmse_curves,
+    edge_sampling_nmse,
+    predicted_crossover_degree,
+    vertex_sampling_nmse,
+)
+from repro.generators.ba import barabasi_albert
+from repro.metrics.errors import nmse
+from repro.metrics.exact import true_degree_pmf
+from repro.sampling.independent import RandomEdgeSampler, RandomVertexSampler
+from repro.estimators.degree import (
+    degree_pmf_from_trace,
+    degree_pmf_from_vertices,
+)
+from repro.util.rng import child_rng
+
+
+class TestClosedForms:
+    def test_eq4_value(self):
+        # theta = 0.2, B = 100: sqrt((5-1)/100) = 0.2
+        assert vertex_sampling_nmse(0.2, 100) == pytest.approx(0.2)
+
+    def test_eq3_value(self):
+        # pi = i*theta/d = 4*0.1/2 = 0.2 -> same as above
+        assert edge_sampling_nmse(0.1, 4, 2.0, 100) == pytest.approx(0.2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            vertex_sampling_nmse(0.0, 10)
+        with pytest.raises(ValueError):
+            vertex_sampling_nmse(0.5, 0)
+        with pytest.raises(ValueError):
+            edge_sampling_nmse(0.5, 0, 2.0, 10)
+        with pytest.raises(ValueError):
+            edge_sampling_nmse(0.9, 10, 2.0, 10)  # pi > 1
+
+    def test_crossover_at_mean_degree(self):
+        assert predicted_crossover_degree(7.3) == 7.3
+        with pytest.raises(ValueError):
+            predicted_crossover_degree(0.0)
+
+    def test_edge_beats_vertex_above_mean(self):
+        """pi_i/theta_i = i/d: above the mean degree edge sampling has
+        strictly smaller NMSE, below it strictly larger."""
+        theta, d, budget = 0.01, 5.0, 1000
+        above = 20
+        below = 2
+        assert edge_sampling_nmse(theta, above, d, budget) < (
+            vertex_sampling_nmse(theta, budget)
+        )
+        assert edge_sampling_nmse(theta, below, d, budget) > (
+            vertex_sampling_nmse(theta, budget)
+        )
+
+
+class TestCurves:
+    def test_curves_cover_support(self):
+        graph = barabasi_albert(300, 2, rng=0)
+        vertex_curve, edge_curve = analytic_nmse_curves(graph, 500)
+        pmf = true_degree_pmf(graph)
+        support = {k for k, v in pmf.items() if v > 0}
+        assert set(vertex_curve) == support
+        assert set(edge_curve) == {k for k in support if k > 0}
+
+    def test_crossover_visible_in_curves(self):
+        graph = barabasi_albert(500, 3, rng=1)
+        vertex_curve, edge_curve = analytic_nmse_curves(graph, 1000)
+        d = graph.average_degree()
+        above = [k for k in edge_curve if k > 2 * d and vertex_curve.get(k)]
+        below = [k for k in edge_curve if 0 < k < 0.5 * d]
+        assert above and any(
+            edge_curve[k] < vertex_curve[k] for k in above
+        )
+        assert all(edge_curve[k] > vertex_curve[k] for k in below)
+
+
+class TestModelMatchesSimulation:
+    """Eq. 3/4 are exact binomial-variance statements; simulated NMSE
+    of the independent samplers should land on them."""
+
+    def _simulated_vertex_nmse(self, graph, degree, budget, runs):
+        truth = true_degree_pmf(graph)[degree]
+        estimates = []
+        sampler = RandomVertexSampler()
+        for run in range(runs):
+            trace = sampler.sample(graph, budget, child_rng(17, run))
+            pmf = degree_pmf_from_vertices(trace.vertices, graph.degree)
+            estimates.append(pmf.get(degree, 0.0))
+        return nmse(estimates, truth)
+
+    def test_vertex_sampling_matches_eq4(self):
+        graph = barabasi_albert(400, 2, rng=2)
+        pmf = true_degree_pmf(graph)
+        degree = 2  # high-mass degree for a stable comparison
+        budget = 200
+        predicted = vertex_sampling_nmse(pmf[degree], budget)
+        simulated = self._simulated_vertex_nmse(graph, degree, budget, 400)
+        assert simulated == pytest.approx(predicted, rel=0.15)
+
+    def test_edge_sampling_matches_eq3(self):
+        graph = barabasi_albert(400, 2, rng=3)
+        pmf = true_degree_pmf(graph)
+        degree = 3
+        samples = 200
+        d = graph.average_degree()
+        predicted = edge_sampling_nmse(pmf[degree], degree, d, samples)
+        sampler = RandomEdgeSampler(cost_per_edge=1.0)
+        truth = pmf[degree]
+        estimates = []
+        for run in range(400):
+            trace = sampler.sample(graph, samples, child_rng(23, run))
+            estimate = degree_pmf_from_trace(graph, trace).get(degree, 0.0)
+            estimates.append(estimate)
+        simulated = nmse(estimates, truth)
+        # The estimator self-normalizes (eq. 7), adding variance beyond
+        # the idealized binomial model — allow a wider band.
+        assert simulated == pytest.approx(predicted, rel=0.45)

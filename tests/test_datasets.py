@@ -1,0 +1,117 @@
+"""Tests for the dataset registry."""
+
+import pytest
+
+from repro.datasets.registry import (
+    DATASET_BUILDERS,
+    flickr_like,
+    gab,
+    hepth_like,
+    internet_rlt_like,
+    livejournal_like,
+    load,
+    youtube_like,
+)
+from repro.graph.components import connected_components
+
+
+class TestRegistry:
+    def test_all_builders_listed(self):
+        assert set(DATASET_BUILDERS) == {
+            "flickr-like",
+            "livejournal-like",
+            "youtube-like",
+            "internet-rlt-like",
+            "hepth-like",
+            "gab",
+        }
+
+    def test_load_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            load("nope")
+
+    def test_load_dispatches(self):
+        dataset = load("gab", scale=0.1)
+        assert dataset.name == "gab"
+
+    def test_load_deterministic(self):
+        a = load("hepth-like", scale=0.2)
+        b = load("hepth-like", scale=0.2)
+        assert sorted(a.graph.edges()) == sorted(b.graph.edges())
+
+    def test_load_seed_override_changes_graph(self):
+        a = load("hepth-like", scale=0.2)
+        b = load("hepth-like", scale=0.2, seed=999)
+        assert sorted(a.graph.edges()) != sorted(b.graph.edges())
+
+
+class TestFlickrLike:
+    def test_structure(self):
+        dataset = flickr_like(scale=0.1)
+        summary = dataset.summary()
+        assert summary.num_vertices >= 600
+        # dominant LCC but visibly disconnected (the paper's Flickr)
+        assert 0.85 < summary.lcc_size / summary.num_vertices < 0.99
+        assert summary.num_components > 3
+
+    def test_groups_present(self):
+        dataset = flickr_like(scale=0.1)
+        assert dataset.labels.all_labels()
+
+    def test_degree_labels(self):
+        dataset = flickr_like(scale=0.1)
+        v = 0
+        assert dataset.in_degree_of(v) == dataset.digraph.in_degree(v)
+        assert dataset.out_degree_of(v) == dataset.digraph.out_degree(v)
+
+    def test_heavy_tail(self):
+        dataset = flickr_like(scale=0.3)
+        graph = dataset.graph
+        assert graph.max_degree() > 4 * graph.average_degree()
+
+
+class TestOtherDatasets:
+    def test_livejournal_denser_and_connected(self):
+        dataset = livejournal_like(scale=0.1)
+        summary = dataset.summary()
+        assert summary.lcc_size / summary.num_vertices > 0.95
+        flickr = flickr_like(scale=0.1).summary()
+        assert summary.average_degree > flickr.average_degree
+
+    def test_youtube_sparser(self):
+        youtube = youtube_like(scale=0.1).summary()
+        livejournal = livejournal_like(scale=0.1).summary()
+        assert youtube.average_degree < livejournal.average_degree
+
+    def test_internet_rlt_low_degree(self):
+        dataset = internet_rlt_like(scale=0.1)
+        summary = dataset.summary()
+        assert summary.average_degree == pytest.approx(3.2, abs=0.6)
+        assert summary.num_components == 1
+        assert dataset.digraph is None
+
+    def test_hepth_small(self):
+        dataset = hepth_like(scale=0.2)
+        assert dataset.graph.num_vertices <= 1000
+
+    def test_degree_label_fallback_for_undirected(self):
+        dataset = gab(scale=0.1)
+        assert dataset.in_degree_of(0) == dataset.graph.degree(0)
+
+
+class TestGab:
+    def test_construction(self):
+        dataset = gab(scale=0.1)
+        graph = dataset.graph
+        components = connected_components(graph)
+        assert len(components) == 1  # joined by the bridge
+        n = graph.num_vertices
+        half = n // 2
+        sparse_volume = graph.volume(range(half))
+        dense_volume = graph.volume(range(half, n))
+        # the dense side has ~5x the edges (avg degree 10 vs 2)
+        assert dense_volume > 3 * sparse_volume
+
+    def test_summary_renders(self):
+        row = gab(scale=0.1).summary().as_row()
+        assert "gab" in row

@@ -1,0 +1,122 @@
+"""Tests for assortativity estimators, with networkx as oracle."""
+
+import networkx as nx
+import pytest
+
+from repro.generators.ba import barabasi_albert
+from repro.graph.digraph import DiGraph
+from repro.graph.graph import Graph
+from repro.sampling.base import WalkTrace
+from repro.sampling.single import SingleRandomWalk
+from repro.estimators.assortativity import (
+    assortativity_from_trace,
+    directed_assortativity_from_trace,
+)
+from repro.metrics.exact import (
+    true_directed_assortativity,
+    true_undirected_assortativity,
+)
+
+
+def _star_path():
+    """A disassortative graph: star + path tail."""
+    graph = Graph(8)
+    for leaf in range(1, 5):
+        graph.add_edge(0, leaf)
+    graph.add_edge(4, 5)
+    graph.add_edge(5, 6)
+    graph.add_edge(6, 7)
+    return graph
+
+
+class TestTrueUndirected:
+    def test_matches_networkx(self):
+        graph = _star_path()
+        oracle = nx.Graph(list(graph.edges()))
+        expected = nx.degree_pearson_correlation_coefficient(oracle)
+        assert true_undirected_assortativity(graph) == pytest.approx(
+            expected, abs=1e-9
+        )
+
+    def test_ba_graph_matches_networkx(self):
+        graph = barabasi_albert(300, 2, rng=0)
+        oracle = nx.Graph(list(graph.edges()))
+        expected = nx.degree_pearson_correlation_coefficient(oracle)
+        assert true_undirected_assortativity(graph) == pytest.approx(
+            expected, abs=1e-9
+        )
+
+    def test_regular_graph_returns_zero(self, triangle):
+        assert true_undirected_assortativity(triangle) == 0.0
+
+    def test_no_edges_rejected(self):
+        with pytest.raises(ValueError):
+            true_undirected_assortativity(Graph(3))
+
+
+class TestTrueDirected:
+    def test_matches_networkx(self, small_digraph):
+        oracle = nx.DiGraph(list(small_digraph.edges()))
+        expected = nx.degree_pearson_correlation_coefficient(
+            oracle, x="out", y="in"
+        )
+        assert true_directed_assortativity(small_digraph) == pytest.approx(
+            expected, abs=1e-9
+        )
+
+    def test_no_edges_rejected(self):
+        with pytest.raises(ValueError):
+            true_directed_assortativity(DiGraph(3))
+
+
+class TestEstimatorConvergence:
+    def test_full_trace_equals_truth(self):
+        """Feeding the estimator every directed orientation exactly once
+        reproduces the true value (it's the same Pearson computation)."""
+        graph = _star_path()
+        trace = WalkTrace(
+            "x", list(graph.directed_edges()), [0], 0, 1.0
+        )
+        assert assortativity_from_trace(graph, trace) == pytest.approx(
+            true_undirected_assortativity(graph), abs=1e-12
+        )
+
+    def test_rw_estimate_converges(self):
+        graph = _star_path()
+        trace = SingleRandomWalk(seeding="stationary").sample(
+            graph, 60_000, rng=1
+        )
+        truth = true_undirected_assortativity(graph)
+        assert assortativity_from_trace(graph, trace) == pytest.approx(
+            truth, abs=0.03
+        )
+
+    def test_empty_trace_rejected(self, paw):
+        with pytest.raises(ValueError):
+            assortativity_from_trace(paw, WalkTrace("x", [], [0], 0, 1.0))
+
+    def test_degenerate_degrees_return_zero(self, triangle):
+        trace = SingleRandomWalk().sample(triangle, 200, rng=2)
+        assert assortativity_from_trace(triangle, trace) == 0.0
+
+
+class TestDirectedEstimator:
+    def test_full_directed_edges_equal_truth(self, small_digraph):
+        symmetric = small_digraph.to_symmetric()
+        trace = WalkTrace("x", list(small_digraph.edges()), [0], 0, 1.0)
+        assert directed_assortativity_from_trace(
+            small_digraph, trace
+        ) == pytest.approx(
+            true_directed_assortativity(small_digraph), abs=1e-12
+        )
+
+    def test_skips_non_gd_orientations(self, small_digraph):
+        """Orientations absent from G_d are outside E* and ignored."""
+        trace = WalkTrace("x", [(1, 0), (0, 1)], [1], 2, 1.0)
+        # only (0,1) is in Gd; a single relevant pair has zero variance
+        assert directed_assortativity_from_trace(small_digraph, trace) == 0.0
+
+    def test_no_relevant_edges_rejected(self, small_digraph):
+        trace = WalkTrace("x", [(4, 3)], [4], 1, 1.0)  # reverse of (3,4)
+        with pytest.raises(ValueError):
+            directed_assortativity_from_trace(small_digraph, trace)

@@ -1,0 +1,114 @@
+"""Tests for Gelman-Rubin / Geweke walker diagnostics."""
+
+import pytest
+
+from repro.datasets.registry import gab
+from repro.generators.ba import barabasi_albert
+from repro.sampling.base import WalkTrace
+from repro.sampling.frontier import FrontierSampler
+from repro.sampling.multiple import MultipleRandomWalk
+from repro.estimators.diagnostics import (
+    degree_observable,
+    gelman_rubin,
+    geweke_z,
+    walker_observable_sequences,
+)
+
+
+class TestSequences:
+    def test_extraction(self, house):
+        trace = MultipleRandomWalk(3).sample(house, 60, rng=0)
+        sequences = walker_observable_sequences(
+            house, trace, degree_observable(house)
+        )
+        assert len(sequences) == 3
+        for edges, seq in zip(trace.per_walker, sequences):
+            assert len(seq) == len(edges)
+
+    def test_requires_per_walker(self, house):
+        trace = WalkTrace("x", [(0, 1)], [0], 1, 1.0)
+        with pytest.raises(ValueError):
+            walker_observable_sequences(house, trace, lambda v: 1.0)
+
+    def test_empty_walkers_dropped(self, house):
+        trace = MultipleRandomWalk(3).sample(house, 3, rng=1)  # 0 steps
+        with pytest.raises(ValueError):
+            walker_observable_sequences(house, trace, lambda v: 1.0)
+
+
+class TestGelmanRubin:
+    def test_identical_chains_give_one(self):
+        chains = [[1.0, 2.0, 3.0, 2.0], [1.0, 2.0, 3.0, 2.0]]
+        assert gelman_rubin(chains) == pytest.approx(1.0, abs=0.3)
+
+    def test_disjoint_chains_flagged(self):
+        chains = [[0.0, 0.01, 0.0, 0.01], [10.0, 10.01, 10.0, 10.01]]
+        assert gelman_rubin(chains) > 5
+
+    def test_constant_agreeing_chains(self):
+        assert gelman_rubin([[1.0, 1.0], [1.0, 1.0]]) == 1.0
+
+    def test_constant_disagreeing_chains(self):
+        assert gelman_rubin([[0.0, 0.0], [1.0, 1.0]]) == float("inf")
+
+    def test_single_chain_rejected(self):
+        with pytest.raises(ValueError):
+            gelman_rubin([[1.0, 2.0]])
+
+    def test_truncates_to_shortest(self):
+        chains = [[1.0, 2.0, 3.0], [1.5, 2.5]]
+        value = gelman_rubin(chains)
+        assert value > 0
+
+    def test_mixed_walkers_near_one(self):
+        """On a well-connected graph, MultipleRW walkers mix and R_hat
+        is close to 1."""
+        graph = barabasi_albert(200, 3, rng=0)
+        trace = MultipleRandomWalk(8).sample(graph, 4000, rng=1)
+        sequences = walker_observable_sequences(
+            graph, trace, degree_observable(graph)
+        )
+        assert gelman_rubin(sequences) < 1.3
+
+    def test_trapped_walkers_flagged_on_gab(self):
+        """On GAB, walkers stuck on different sides of the bridge
+        disagree — R_hat clearly above 1.  This is the Section 6.2
+        failure made visible by the diagnostic.  The observable is the
+        low-degree indicator, which separates the two sides."""
+        dataset = gab(scale=0.2)
+        graph = dataset.graph
+
+        def low_degree(v: int) -> float:
+            return 1.0 if graph.degree(v) <= 3 else 0.0
+
+        values = []
+        for seed in (2, 3, 5):
+            trace = MultipleRandomWalk(16).sample(graph, 2000, rng=seed)
+            sequences = walker_observable_sequences(graph, trace, low_degree)
+            values.append(gelman_rubin(sequences))
+        assert min(values) > 1.2
+        assert max(values) > 1.4
+
+
+class TestGeweke:
+    def test_stationary_sequence_small_z(self):
+        import random
+
+        rng = random.Random(0)
+        sequence = [rng.gauss(0, 1) for _ in range(500)]
+        assert abs(geweke_z(sequence)) < 3
+
+    def test_drifting_sequence_large_z(self):
+        sequence = [i / 100 for i in range(500)]
+        assert abs(geweke_z(sequence)) > 5
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ValueError):
+            geweke_z([1.0] * 5)
+
+    def test_overlapping_segments_rejected(self):
+        with pytest.raises(ValueError):
+            geweke_z([1.0] * 100, head_fraction=0.6, tail_fraction=0.6)
+
+    def test_constant_sequence(self):
+        assert geweke_z([2.0] * 100) == 0.0

@@ -1,0 +1,72 @@
+"""Tests for the eq. (5) edge label density estimator."""
+
+import pytest
+
+from repro.graph.labels import EdgeLabeling
+from repro.sampling.base import WalkTrace
+from repro.sampling.single import SingleRandomWalk
+from repro.estimators.edge_density import (
+    edge_label_densities_from_trace,
+    edge_label_density_from_trace,
+)
+
+
+class TestEdgeDensity:
+    def test_no_labeled_edges_rejected(self, paw):
+        trace = SingleRandomWalk().sample(paw, 100, rng=0)
+        with pytest.raises(ValueError):
+            edge_label_density_from_trace(trace, EdgeLabeling(), "x")
+
+    def test_hand_computed(self):
+        labels = EdgeLabeling()
+        labels.add((0, 1), "a")
+        labels.add((1, 2), "b")
+        trace = WalkTrace(
+            "x", [(0, 1), (1, 2), (2, 0), (0, 1)], [0], 4, 1.0
+        )
+        # labeled samples: (0,1), (1,2), (0,1) -> 2/3 carry "a"
+        assert edge_label_density_from_trace(trace, labels, "a") == (
+            pytest.approx(2 / 3)
+        )
+
+    def test_orientation_sensitivity(self):
+        """Only the sampled orientation is looked up — labeling (0,1)
+        does not label (1,0) (E* = E_d semantics)."""
+        labels = EdgeLabeling()
+        labels.add((0, 1), "a")
+        labels.add((1, 0), "b")
+        trace = WalkTrace("x", [(1, 0)], [1], 1, 1.0)
+        assert edge_label_density_from_trace(trace, labels, "b") == 1.0
+        assert edge_label_density_from_trace(trace, labels, "a") == 0.0
+
+    def test_converges_to_truth(self, paw):
+        """Label each orientation of each edge; density of one label
+        converges to its fraction among labeled orientations."""
+        labels = EdgeLabeling()
+        directed = list(paw.directed_edges())
+        special = {(0, 1), (1, 0)}
+        for edge in directed:
+            labels.add(edge, "special" if edge in special else "plain")
+        trace = SingleRandomWalk(seeding="stationary").sample(
+            paw, 40_000, rng=1
+        )
+        estimate = edge_label_density_from_trace(trace, labels, "special")
+        assert estimate == pytest.approx(len(special) / len(directed), abs=0.02)
+
+    def test_batch_matches_single(self, paw):
+        labels = EdgeLabeling()
+        for i, edge in enumerate(paw.directed_edges()):
+            labels.add(edge, f"l{i % 3}")
+        trace = SingleRandomWalk().sample(paw, 3000, rng=2)
+        batch = edge_label_densities_from_trace(
+            trace, labels, ["l0", "l1", "l2"]
+        )
+        for label in ("l0", "l1", "l2"):
+            assert batch[label] == pytest.approx(
+                edge_label_density_from_trace(trace, labels, label)
+            )
+
+    def test_batch_no_labels_rejected(self, paw):
+        trace = SingleRandomWalk().sample(paw, 100, rng=3)
+        with pytest.raises(ValueError):
+            edge_label_densities_from_trace(trace, EdgeLabeling(), ["x"])

@@ -1,0 +1,84 @@
+"""Tests for RW-based graph size estimation."""
+
+import pytest
+
+from repro.generators.ba import barabasi_albert
+from repro.generators.classic import complete_graph
+from repro.sampling.base import WalkTrace
+from repro.sampling.frontier import FrontierSampler
+from repro.sampling.single import SingleRandomWalk
+from repro.estimators.size import (
+    estimate_num_edges,
+    estimate_num_vertices,
+    estimate_volume,
+)
+
+
+class TestValidation:
+    def test_too_few_samples(self, paw):
+        trace = WalkTrace("x", [(0, 1)], [0], 1, 1.0)
+        with pytest.raises(ValueError):
+            estimate_num_vertices(paw, trace)
+
+    def test_no_collisions_rejected(self):
+        """A collision-free trace cannot calibrate the scale."""
+        graph = barabasi_albert(5000, 2, rng=0)
+        # 3 steps on a 5000-vertex graph: collisions essentially never.
+        trace = SingleRandomWalk().sample(graph, 4, rng=1)
+        if len(set(trace.visited_vertices)) == len(trace.visited_vertices):
+            with pytest.raises(ValueError):
+                estimate_num_vertices(graph, trace)
+
+
+class TestAccuracy:
+    def test_vertex_count_on_ba(self):
+        graph = barabasi_albert(400, 3, rng=2)
+        trace = SingleRandomWalk(seeding="stationary").sample(
+            graph, 2500, rng=3
+        )
+        estimate = estimate_num_vertices(graph, trace)
+        assert estimate == pytest.approx(graph.num_vertices, rel=0.25)
+
+    def test_volume_on_ba(self):
+        graph = barabasi_albert(400, 3, rng=4)
+        trace = SingleRandomWalk(seeding="stationary").sample(
+            graph, 2500, rng=5
+        )
+        assert estimate_volume(graph, trace) == pytest.approx(
+            graph.volume(), rel=0.25
+        )
+
+    def test_edge_count_is_half_volume(self):
+        graph = barabasi_albert(300, 2, rng=6)
+        trace = SingleRandomWalk(seeding="stationary").sample(
+            graph, 2000, rng=7
+        )
+        assert estimate_num_edges(graph, trace) == pytest.approx(
+            estimate_volume(graph, trace) / 2
+        )
+
+    def test_works_with_fs_trace(self):
+        """FS samples edges uniformly in steady state, so the same
+        collision estimator applies to its traces."""
+        graph = barabasi_albert(400, 3, rng=8)
+        trace = FrontierSampler(16).sample(graph, 2500, rng=9)
+        estimate = estimate_num_vertices(graph, trace)
+        assert estimate == pytest.approx(graph.num_vertices, rel=0.3)
+
+    def test_unbiased_over_replications(self):
+        graph = barabasi_albert(250, 3, rng=10)
+        estimates = []
+        for seed in range(30):
+            trace = SingleRandomWalk(seeding="stationary").sample(
+                graph, 1500, rng=seed
+            )
+            estimates.append(estimate_num_vertices(graph, trace))
+        mean = sum(estimates) / len(estimates)
+        assert mean == pytest.approx(graph.num_vertices, rel=0.12)
+
+    def test_complete_graph(self):
+        graph = complete_graph(30)
+        trace = SingleRandomWalk().sample(graph, 3000, rng=11)
+        assert estimate_num_vertices(graph, trace) == pytest.approx(
+            30, rel=0.15
+        )

@@ -1,0 +1,102 @@
+"""Tests for the eq. (7) vertex label density estimator."""
+
+import pytest
+
+from repro.graph.graph import Graph
+from repro.graph.labels import VertexLabeling
+from repro.sampling.base import WalkTrace
+from repro.sampling.single import SingleRandomWalk
+from repro.estimators.vertex_density import (
+    vertex_label_densities_from_trace,
+    vertex_label_density_from_trace,
+    vertex_label_density_from_vertices,
+)
+from repro.metrics.exact import true_vertex_label_density
+
+
+def _labeled_paw(paw):
+    labels = VertexLabeling()
+    labels.add(0, "hub")
+    labels.add(3, "leaf")
+    labels.add(1, "mid")
+    labels.add(2, "mid")
+    return labels
+
+
+class TestFromTrace:
+    def test_empty_trace_rejected(self, paw):
+        trace = WalkTrace("x", [], [0], 0, 1.0)
+        with pytest.raises(ValueError):
+            vertex_label_density_from_trace(paw, trace, VertexLabeling(), "l")
+
+    def test_exact_on_deterministic_trace(self, paw):
+        """Hand-computed: trace visits vertices 0 (deg 3) and 3 (deg 1).
+
+        theta_hat(hub) = (1/3) / (1/3 + 1/1) = 0.25
+        """
+        labels = _labeled_paw(paw)
+        trace = WalkTrace("x", [(3, 0), (0, 3)], [3], 2, 1.0)
+        estimate = vertex_label_density_from_trace(paw, trace, labels, "hub")
+        assert estimate == pytest.approx(0.25)
+
+    def test_converges_to_truth(self, paw):
+        labels = _labeled_paw(paw)
+        trace = SingleRandomWalk(seeding="stationary").sample(
+            paw, 50_000, rng=0
+        )
+        truth = true_vertex_label_density(paw, labels, "mid")
+        estimate = vertex_label_density_from_trace(paw, trace, labels, "mid")
+        assert estimate == pytest.approx(truth, abs=0.02)
+
+    def test_unbiased_for_degree_skewed_label(self, paw):
+        """The 1/deg reweighting is what makes high-degree labels not
+        over-counted; the plain average would overestimate 'hub'."""
+        labels = _labeled_paw(paw)
+        trace = SingleRandomWalk(seeding="stationary").sample(
+            paw, 50_000, rng=1
+        )
+        reweighted = vertex_label_density_from_trace(paw, trace, labels, "hub")
+        plain = sum(
+            1 for _, v in trace.edges if labels.has_label(v, "hub")
+        ) / trace.num_steps
+        truth = 0.25
+        assert reweighted == pytest.approx(truth, abs=0.02)
+        assert plain > truth + 0.05  # visibly biased
+
+    def test_batch_matches_single(self, paw):
+        labels = _labeled_paw(paw)
+        trace = SingleRandomWalk().sample(paw, 2000, rng=2)
+        batch = vertex_label_densities_from_trace(
+            paw, trace, labels, ["hub", "mid", "leaf"]
+        )
+        for label in ("hub", "mid", "leaf"):
+            single = vertex_label_density_from_trace(paw, trace, labels, label)
+            assert batch[label] == pytest.approx(single)
+
+    def test_batch_missing_label_zero(self, paw):
+        labels = _labeled_paw(paw)
+        trace = SingleRandomWalk().sample(paw, 500, rng=3)
+        batch = vertex_label_densities_from_trace(paw, trace, labels, ["nope"])
+        assert batch["nope"] == 0.0
+
+    def test_densities_sum_to_one_for_partition(self, paw):
+        """Labels that partition V have densities summing to 1 under
+        the shared normalizer."""
+        labels = _labeled_paw(paw)
+        trace = SingleRandomWalk().sample(paw, 5000, rng=4)
+        batch = vertex_label_densities_from_trace(
+            paw, trace, labels, ["hub", "mid", "leaf"]
+        )
+        assert sum(batch.values()) == pytest.approx(1.0)
+
+
+class TestFromVertices:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            vertex_label_density_from_vertices([], VertexLabeling(), "l")
+
+    def test_plain_fraction(self):
+        labels = VertexLabeling()
+        labels.add(1, "x")
+        estimate = vertex_label_density_from_vertices([1, 2, 1, 3], labels, "x")
+        assert estimate == pytest.approx(0.5)

@@ -1,0 +1,46 @@
+"""Structure tests for the ablation drivers (tiny scale)."""
+
+import pytest
+
+from repro.experiments.ablations import (
+    SweepResult,
+    burn_in_ablation,
+    dimension_sweep,
+    fs_vs_distributed,
+    metropolis_vs_rw,
+    walker_selection_ablation,
+)
+
+
+class TestSweepResult:
+    def test_render(self):
+        result = SweepResult(title="t", errors={"a": 0.5, "b": 1.0})
+        text = result.render()
+        assert "t" in text
+        assert "a" in text
+        assert "0.5" in text
+
+
+class TestDrivers:
+    def test_dimension_sweep(self):
+        result = dimension_sweep(scale=0.1, runs=4, dimensions=(1, 8))
+        assert set(result.errors) == {"FS(m=1)", "FS(m=8)"}
+        assert all(v > 0 for v in result.errors.values())
+
+    def test_walker_selection(self):
+        result = walker_selection_ablation(scale=0.1, runs=4, dimension=8)
+        assert len(result.errors) == 2
+
+    def test_metropolis_vs_rw(self):
+        result = metropolis_vs_rw(scale=0.1, runs=4)
+        assert set(result.errors) == {"RW + eq.(7)", "Metropolis-Hastings"}
+
+    def test_burn_in(self):
+        result = burn_in_ablation(scale=0.1, runs=4, burn_ins=(0, 20))
+        assert "FS(m=64, no burn-in)" in result.errors
+        assert "SingleRW(burn-in=0)" in result.errors
+        assert "SingleRW(burn-in=20)" in result.errors
+
+    def test_fs_vs_distributed(self):
+        result = fs_vs_distributed(scale=0.1, runs=4, dimension=8)
+        assert len(result.errors) == 2

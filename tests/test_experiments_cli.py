@@ -1,0 +1,47 @@
+"""Tests for the repro-experiments CLI."""
+
+import pytest
+
+from repro.experiments.cli import _EXPERIMENTS, main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig5" in out
+        assert "table4" in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_missing_argument_errors(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_registry_complete(self):
+        expected = {f"fig{i}" for i in [1, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14]}
+        expected |= {"table1", "table2", "table3", "table4"}
+        expected |= {
+            "ablation-dimension",
+            "ablation-selection",
+            "ablation-metropolis",
+            "ablation-burnin",
+            "ablation-distributed",
+        }
+        assert set(_EXPERIMENTS) == expected
+
+    def test_run_fig3(self, capsys):
+        assert main(["fig3", "--scale", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 3" in out
+        assert "finished in" in out
+
+    def test_run_table1(self, capsys):
+        assert main(["table1", "--scale", "0.05"]) == 0
+        assert "Table 1" in capsys.readouterr().out
+
+    def test_run_fig1_with_runs(self, capsys):
+        assert main(["fig1", "--scale", "0.05", "--runs", "3"]) == 0
+        assert "Figure 1" in capsys.readouterr().out

@@ -1,0 +1,99 @@
+"""Smoke + structure tests for the figure drivers (tiny scale)."""
+
+import pytest
+
+from repro.experiments import figures
+
+
+class TestDescriptiveFigures:
+    def test_fig3(self):
+        result = figures.fig3(scale=0.05)
+        assert result.ccdf
+        assert "Figure 3" in result.render()
+
+    def test_fig7(self):
+        result = figures.fig7(scale=0.05)
+        assert result.ccdf
+        assert "Figure 7" in result.render()
+
+    def test_ccdf_values_monotone(self):
+        result = figures.fig3(scale=0.05)
+        keys = sorted(result.ccdf)
+        for a, b in zip(keys, keys[1:]):
+            assert result.ccdf[a] >= result.ccdf[b] - 1e-12
+
+
+class TestErrorFigures:
+    def test_fig1_structure(self):
+        result = figures.fig1(scale=0.05, runs=4)
+        assert set(result.curves) == {"SingleRW", "MultipleRW(m=10)"}
+        assert result.metric == "ccdf"
+
+    def test_fig4_runs_on_lcc(self):
+        result = figures.fig4(scale=0.05, runs=3, dimension=10)
+        assert len(result.curves) == 3
+
+    def test_fig5_full_graph(self):
+        result = figures.fig5(scale=0.05, runs=3, dimension=10)
+        assert any(name.startswith("FS") for name in result.curves)
+
+    def test_fig8_out_degree(self):
+        result = figures.fig8(scale=0.05, runs=3, dimension=10)
+        assert result.curves
+
+    def test_fig10_gab(self):
+        result = figures.fig10(scale=0.05, runs=3, dimension=10)
+        assert result.curves
+
+    def test_fig11_stationary_baselines(self):
+        result = figures.fig11(scale=0.05, runs=3, dimension=10)
+        assert any("stationary" in name for name in result.curves)
+
+    def test_fig12_pmf_metric_with_analytic(self):
+        result = figures.fig12(scale=0.05, runs=3, dimension=10)
+        assert result.metric == "pmf"
+        assert "analytic RV (eq.4)" in result.curves
+        assert "analytic RE (eq.3)" in result.curves
+
+    def test_fig12_without_analytic(self):
+        result = figures.fig12(
+            scale=0.05, runs=3, dimension=10, include_analytic=False
+        )
+        assert "analytic RV (eq.4)" not in result.curves
+
+    def test_fig13_hit_ratios(self):
+        result = figures.fig13(scale=0.05, runs=3, dimension=10)
+        assert any("hit" in name for name in result.curves)
+
+
+class TestSamplePathFigures:
+    def test_fig6(self):
+        result = figures.fig6(scale=0.05, dimension=10, num_paths=2)
+        assert result.target_degree == 1
+        assert len(result.paths["FS"]) == 2
+
+    def test_fig9(self):
+        result = figures.fig9(scale=0.05, dimension=10, num_paths=2)
+        assert result.target_degree == 10
+
+
+class TestFig14:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return figures.fig14(scale=0.05, runs=4, dimension=10, top_groups=10)
+
+    def test_structure(self, result):
+        assert result.group_truth
+        assert len(result.curves) == 3
+
+    def test_groups_scored_have_positive_truth(self, result):
+        assert all(v > 0 for v in result.group_truth.values())
+
+    def test_mean_error(self, result):
+        for method in result.curves:
+            assert result.mean_error(method) > 0
+
+    def test_render(self, result):
+        text = result.render()
+        assert "Figure 14" in text
+        assert "theta_l" in text

@@ -1,0 +1,48 @@
+"""Tests for the text rendering helpers."""
+
+import pytest
+
+from repro.experiments.render import format_float, render_table
+
+
+class TestRenderTable:
+    def test_basic_layout(self):
+        text = render_table("Title", ["a", "bb"], [["1", "22"], ["333", "4"]])
+        lines = text.splitlines()
+        assert lines[0] == "Title"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert lines[2].strip().startswith("-")
+        assert len(lines) == 5
+
+    def test_columns_align(self):
+        text = render_table("t", ["col"], [["x"], ["longer"]])
+        lines = text.splitlines()
+        assert len(lines[3]) == len(lines[4])
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            render_table("t", ["a", "b"], [["only-one"]])
+
+    def test_empty_rows(self):
+        text = render_table("t", ["a"], [])
+        assert "a" in text
+
+
+class TestFormatFloat:
+    def test_zero(self):
+        assert format_float(0.0) == "0"
+
+    def test_nan(self):
+        assert format_float(float("nan")) == "nan"
+
+    def test_normal_range(self):
+        assert format_float(0.1234567, 4) == "0.1235"
+
+    def test_large_values_scientific(self):
+        assert "e" in format_float(123456.0)
+
+    def test_tiny_values_scientific(self):
+        assert "e" in format_float(1e-9)
+
+    def test_negative(self):
+        assert format_float(-1.5, 2) == "-1.50"

@@ -1,0 +1,27 @@
+"""Tests for the replication engine."""
+
+import pytest
+
+from repro.experiments.runner import replicate
+
+
+class TestReplicate:
+    def test_count(self):
+        results = replicate(lambda rng: rng.random(), 5, root_seed=0)
+        assert len(results) == 5
+
+    def test_runs_independent_and_reproducible(self):
+        a = replicate(lambda rng: rng.random(), 4, root_seed=1)
+        b = replicate(lambda rng: rng.random(), 4, root_seed=1)
+        assert a == b
+        assert len(set(a)) == 4
+
+    def test_prefix_stability(self):
+        """Adding runs never changes earlier runs' results."""
+        short = replicate(lambda rng: rng.random(), 3, root_seed=2)
+        long = replicate(lambda rng: rng.random(), 6, root_seed=2)
+        assert long[:3] == short
+
+    def test_zero_runs_rejected(self):
+        with pytest.raises(ValueError):
+            replicate(lambda rng: 1, 0)

@@ -1,0 +1,80 @@
+"""Tests for the sample-path experiment (Figures 6 and 9)."""
+
+import pytest
+
+from repro.generators.ba import barabasi_albert
+from repro.experiments.samplepaths import (
+    _interleave,
+    default_checkpoints,
+    sample_paths,
+)
+from repro.metrics.exact import true_degree_pmf
+
+
+class TestCheckpoints:
+    def test_log_spacing(self):
+        marks = default_checkpoints(1000, count=5)
+        assert marks[0] == 1
+        assert marks[-1] == 1000
+        assert marks == sorted(set(marks))
+
+    def test_small_total(self):
+        marks = default_checkpoints(3)
+        assert marks[-1] == 3
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ValueError):
+            default_checkpoints(0)
+
+
+class TestInterleave:
+    def test_round_robin(self):
+        merged = _interleave([[("a", 1), ("a", 2)], [("b", 1), ("b", 2)]])
+        assert merged == [("a", 1), ("b", 1), ("a", 2), ("b", 2)]
+
+    def test_uneven_lengths(self):
+        merged = _interleave([[1, 2, 3], [4]])
+        assert merged == [1, 4, 2, 3]
+
+    def test_empty(self):
+        assert _interleave([[], []]) == []
+
+
+class TestSamplePaths:
+    @pytest.fixture(scope="class")
+    def result(self):
+        graph = barabasi_albert(300, 2, rng=0)
+        pmf = true_degree_pmf(graph)
+        return sample_paths(
+            graph,
+            target_degree=2,
+            true_value=pmf[2],
+            dimension=10,
+            total_steps=2000,
+            num_paths=3,
+            root_seed=1,
+        )
+
+    def test_methods_present(self, result):
+        assert set(result.paths) == {"FS", "SingleRW", "MultipleRW"}
+
+    def test_path_shapes(self, result):
+        for paths in result.paths.values():
+            assert len(paths) == 3
+            for path in paths:
+                assert len(path) == len(result.checkpoints)
+
+    def test_estimates_in_unit_interval(self, result):
+        for paths in result.paths.values():
+            for path in paths:
+                assert all(0.0 <= value <= 1.0 for value in path)
+
+    def test_fs_converges_to_truth(self, result):
+        """On a connected BA graph all FS paths approach theta_2."""
+        for final in result.final_values("FS"):
+            assert final == pytest.approx(result.true_value, abs=0.1)
+
+    def test_render(self, result):
+        text = result.render()
+        assert "FS" in text
+        assert "steps" in text

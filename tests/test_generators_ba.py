@@ -1,0 +1,56 @@
+"""Tests for the Barabási–Albert generator."""
+
+import pytest
+
+from repro.generators.ba import barabasi_albert
+from repro.graph.components import is_connected
+
+
+class TestValidation:
+    def test_k_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            barabasi_albert(10, 0)
+
+    def test_too_few_vertices_rejected(self):
+        with pytest.raises(ValueError):
+            barabasi_albert(3, 3)
+
+
+class TestStructure:
+    def test_vertex_count(self):
+        graph = barabasi_albert(100, 2, rng=0)
+        assert graph.num_vertices == 100
+
+    def test_edge_count(self):
+        """Seed star has k edges; each later vertex adds exactly k."""
+        n, k = 120, 3
+        graph = barabasi_albert(n, k, rng=1)
+        assert graph.num_edges == k + (n - k - 1) * k
+
+    def test_connected(self):
+        assert is_connected(barabasi_albert(200, 1, rng=2))
+        assert is_connected(barabasi_albert(200, 4, rng=3))
+
+    def test_k1_is_tree(self):
+        graph = barabasi_albert(150, 1, rng=4)
+        assert graph.num_edges == graph.num_vertices - 1
+
+    def test_average_degree_near_2k(self):
+        graph = barabasi_albert(2000, 5, rng=5)
+        assert graph.average_degree() == pytest.approx(10.0, rel=0.05)
+
+    def test_min_degree_at_least_k(self):
+        k = 3
+        graph = barabasi_albert(300, k, rng=6)
+        assert min(graph.degrees()) >= k
+
+    def test_deterministic_given_seed(self):
+        a = barabasi_albert(80, 2, rng=42)
+        b = barabasi_albert(80, 2, rng=42)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_heavy_tail_present(self):
+        """Preferential attachment should produce a hub far above the
+        average degree."""
+        graph = barabasi_albert(3000, 2, rng=7)
+        assert graph.max_degree() > 5 * graph.average_degree()

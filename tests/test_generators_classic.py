@@ -1,0 +1,78 @@
+"""Tests for deterministic classic generators."""
+
+import pytest
+
+from repro.generators.classic import (
+    complete_graph,
+    cycle_graph,
+    grid_graph,
+    path_graph,
+    star_graph,
+)
+from repro.graph.components import is_connected
+
+
+class TestPath:
+    def test_structure(self):
+        graph = path_graph(5)
+        assert graph.num_edges == 4
+        assert graph.degree(0) == 1
+        assert graph.degree(2) == 2
+
+    def test_single_vertex(self):
+        assert path_graph(1).num_edges == 0
+
+    def test_empty(self):
+        assert path_graph(0).num_vertices == 0
+
+
+class TestCycle:
+    def test_structure(self):
+        graph = cycle_graph(6)
+        assert graph.num_edges == 6
+        assert all(graph.degree(v) == 2 for v in graph.vertices())
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            cycle_graph(2)
+
+
+class TestStar:
+    def test_structure(self):
+        graph = star_graph(4)
+        assert graph.num_vertices == 5
+        assert graph.degree(0) == 4
+        assert all(graph.degree(v) == 1 for v in range(1, 5))
+
+    def test_no_leaves_rejected(self):
+        with pytest.raises(ValueError):
+            star_graph(0)
+
+
+class TestComplete:
+    def test_edge_count(self):
+        assert complete_graph(7).num_edges == 21
+
+    def test_regular(self):
+        graph = complete_graph(5)
+        assert all(graph.degree(v) == 4 for v in graph.vertices())
+
+
+class TestGrid:
+    def test_structure(self):
+        graph = grid_graph(3, 4)
+        assert graph.num_vertices == 12
+        # edges: 3*(4-1) horizontal + (3-1)*4 vertical
+        assert graph.num_edges == 9 + 8
+
+    def test_corner_degrees(self):
+        graph = grid_graph(3, 3)
+        assert graph.degree(0) == 2  # corner
+        assert graph.degree(4) == 4  # center
+
+    def test_connected(self):
+        assert is_connected(grid_graph(4, 5))
+
+    def test_invalid_dims_rejected(self):
+        with pytest.raises(ValueError):
+            grid_graph(0, 3)

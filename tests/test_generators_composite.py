@@ -1,0 +1,106 @@
+"""Tests for disjoint unions, bridges and dust (the GAB machinery)."""
+
+import pytest
+
+from repro.generators.ba import barabasi_albert
+from repro.generators.classic import complete_graph, star_graph
+from repro.generators.composite import (
+    disjoint_union,
+    join_by_bridge,
+    with_component_dust,
+)
+from repro.graph.components import connected_components, is_connected
+from repro.graph.graph import Graph
+
+
+class TestDisjointUnion:
+    def test_counts(self):
+        a = complete_graph(3)
+        b = complete_graph(4)
+        union, offsets = disjoint_union([a, b])
+        assert union.num_vertices == 7
+        assert union.num_edges == 3 + 6
+        assert offsets == [0, 3]
+
+    def test_no_cross_edges(self):
+        union, offsets = disjoint_union([complete_graph(3), complete_graph(3)])
+        assert len(connected_components(union)) == 2
+
+    def test_empty_list_rejected(self):
+        with pytest.raises(ValueError):
+            disjoint_union([])
+
+    def test_single_graph(self):
+        g = complete_graph(3)
+        union, offsets = disjoint_union([g])
+        assert union.num_edges == 3
+        assert offsets == [0]
+
+
+class TestJoinByBridge:
+    def test_gab_construction(self):
+        """Exactly the paper's recipe: one extra edge, connected result."""
+        a = barabasi_albert(60, 1, rng=0)
+        b = barabasi_albert(60, 5, rng=1)
+        joined = join_by_bridge(a, b)
+        assert joined.num_vertices == 120
+        assert joined.num_edges == a.num_edges + b.num_edges + 1
+        assert is_connected(joined)
+
+    def test_bridge_attaches_min_degree_vertices(self):
+        a = star_graph(3)  # leaves have degree 1
+        b = star_graph(4)
+        joined = join_by_bridge(a, b)
+        bridge_endpoints = [
+            (u, v)
+            for u, v in joined.edges()
+            if u < a.num_vertices <= v
+        ]
+        # exactly one bridge, between two former leaves
+        assert len(bridge_endpoints) == 1
+        u, v = bridge_endpoints[0]
+        assert joined.degree(u) == 2  # leaf + bridge
+        assert joined.degree(v) == 2
+
+    def test_edgeless_graph_rejected(self):
+        with pytest.raises(ValueError):
+            join_by_bridge(Graph(3), complete_graph(3))
+
+
+class TestComponentDust:
+    def test_dust_counts(self):
+        core = complete_graph(10)
+        dusty = with_component_dust(core, 5, 4, rng=0)
+        assert dusty.num_vertices == 10 + 20
+        components = connected_components(dusty)
+        assert len(components) == 6
+        assert len(components[0]) == 10
+
+    def test_dust_components_connected(self):
+        dusty = with_component_dust(complete_graph(10), 3, 6, rng=1)
+        for component in connected_components(dusty)[1:]:
+            assert len(component) == 6
+
+    def test_zero_dust(self):
+        core = complete_graph(4)
+        dusty = with_component_dust(core, 0, 5, rng=2)
+        assert dusty.num_vertices == 4
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            with_component_dust(complete_graph(3), -1, 4)
+
+    def test_tiny_component_rejected(self):
+        with pytest.raises(ValueError):
+            with_component_dust(complete_graph(3), 2, 1)
+
+    def test_dust_not_a_tree(self):
+        """Dust components carry at least one extra (cycle) edge."""
+        dusty = with_component_dust(complete_graph(3), 4, 8, rng=3)
+        for component in connected_components(dusty)[1:]:
+            edges_inside = sum(
+                1
+                for u, v in dusty.edges()
+                if u in set(component) and v in set(component)
+            )
+            assert edges_inside >= len(component)  # tree would be size-1

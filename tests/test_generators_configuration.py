@@ -1,0 +1,120 @@
+"""Tests for configuration-model generators and power-law sequences."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.generators.configuration import (
+    configuration_model,
+    directed_configuration_model,
+    power_law_degree_sequence,
+)
+
+
+class TestPowerLawSequence:
+    def test_length(self):
+        degrees = power_law_degree_sequence(500, 2.5, rng=0)
+        assert len(degrees) == 500
+
+    def test_bounds_respected(self):
+        degrees = power_law_degree_sequence(
+            1000, 2.0, min_degree=2, max_degree=50, rng=1
+        )
+        assert min(degrees) >= 2
+        assert max(degrees) <= 50
+
+    def test_exponent_validation(self):
+        with pytest.raises(ValueError):
+            power_law_degree_sequence(10, 1.0)
+
+    def test_min_degree_validation(self):
+        with pytest.raises(ValueError):
+            power_law_degree_sequence(10, 2.0, min_degree=0)
+
+    def test_max_below_min_rejected(self):
+        with pytest.raises(ValueError):
+            power_law_degree_sequence(10, 2.0, min_degree=5, max_degree=3)
+
+    def test_heavier_exponent_means_lighter_tail(self):
+        light = power_law_degree_sequence(4000, 3.5, max_degree=1000, rng=2)
+        heavy = power_law_degree_sequence(4000, 1.8, max_degree=1000, rng=2)
+        assert sum(heavy) / len(heavy) > sum(light) / len(light)
+
+    def test_deterministic(self):
+        a = power_law_degree_sequence(100, 2.2, rng=7)
+        b = power_law_degree_sequence(100, 2.2, rng=7)
+        assert a == b
+
+
+class TestConfigurationModel:
+    def test_negative_degree_rejected(self):
+        with pytest.raises(ValueError):
+            configuration_model([1, -1])
+
+    def test_graph_size(self):
+        graph = configuration_model([2, 2, 2, 2], rng=0)
+        assert graph.num_vertices == 4
+
+    def test_degrees_close_to_requested(self):
+        """The erased model only loses the few stubs involved in
+        self-loops/duplicates."""
+        degrees = [3] * 200
+        graph = configuration_model(degrees, rng=1)
+        realized = sum(graph.degrees())
+        assert realized >= 0.9 * sum(degrees)
+        assert realized <= sum(degrees)
+
+    def test_odd_sum_handled(self):
+        graph = configuration_model([1, 1, 1], rng=2)
+        assert graph.num_vertices == 3  # one degree bumped internally
+
+    def test_no_self_loops(self):
+        graph = configuration_model([4] * 50, rng=3)
+        for u, v in graph.edges():
+            assert u != v
+
+
+class TestDirectedConfigurationModel:
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            directed_configuration_model([1, 2], [1])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            directed_configuration_model([1, -2], [1, 2])
+
+    def test_size(self):
+        graph = directed_configuration_model([1, 1, 1], [1, 1, 1], rng=0)
+        assert graph.num_vertices == 3
+
+    def test_arcs_close_to_requested(self):
+        out_degrees = [2] * 300
+        in_degrees = [2] * 300
+        graph = directed_configuration_model(out_degrees, in_degrees, rng=1)
+        assert graph.num_edges >= 0.85 * sum(out_degrees)
+
+    def test_unbalanced_totals_trimmed(self):
+        graph = directed_configuration_model([5, 5], [1, 1], rng=2)
+        assert graph.num_edges <= 2
+
+    def test_no_self_arcs(self):
+        graph = directed_configuration_model([3] * 40, [3] * 40, rng=3)
+        for u, v in graph.edges():
+            assert u != v
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    n=st.integers(min_value=4, max_value=60),
+)
+@settings(max_examples=50, deadline=None)
+def test_configuration_model_degree_dominance(seed, n):
+    """Realized degree never exceeds the requested degree (erasure only
+    removes edges)."""
+    degrees = power_law_degree_sequence(n, 2.2, max_degree=n - 1, rng=seed)
+    adjusted = list(degrees)
+    if sum(adjusted) % 2 == 1:
+        adjusted[0] += 1
+    graph = configuration_model(degrees, rng=seed)
+    for v in graph.vertices():
+        assert graph.degree(v) <= adjusted[v]

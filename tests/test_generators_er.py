@@ -1,0 +1,68 @@
+"""Tests for Erdős–Rényi generators."""
+
+import pytest
+
+from repro.generators.er import erdos_renyi_gnm, erdos_renyi_gnp
+
+
+class TestGnp:
+    def test_p_zero(self):
+        graph = erdos_renyi_gnp(50, 0.0, rng=0)
+        assert graph.num_edges == 0
+
+    def test_p_one_is_complete(self):
+        graph = erdos_renyi_gnp(10, 1.0, rng=0)
+        assert graph.num_edges == 45
+
+    def test_invalid_p_rejected(self):
+        with pytest.raises(ValueError):
+            erdos_renyi_gnp(10, 1.5)
+        with pytest.raises(ValueError):
+            erdos_renyi_gnp(10, -0.1)
+
+    def test_expected_edge_count(self):
+        n, p = 300, 0.05
+        graph = erdos_renyi_gnp(n, p, rng=1)
+        expected = p * n * (n - 1) / 2
+        assert graph.num_edges == pytest.approx(expected, rel=0.15)
+
+    def test_tiny_graph(self):
+        graph = erdos_renyi_gnp(1, 0.5, rng=2)
+        assert graph.num_edges == 0
+
+    def test_no_self_loops_or_duplicates(self):
+        graph = erdos_renyi_gnp(100, 0.1, rng=3)
+        edges = list(graph.edges())
+        assert len(edges) == len(set(edges))
+        assert all(u != v for u, v in edges)
+
+    def test_deterministic(self):
+        a = erdos_renyi_gnp(60, 0.1, rng=9)
+        b = erdos_renyi_gnp(60, 0.1, rng=9)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+
+class TestGnm:
+    def test_exact_edge_count(self):
+        graph = erdos_renyi_gnm(40, 100, rng=0)
+        assert graph.num_edges == 100
+
+    def test_zero_edges(self):
+        assert erdos_renyi_gnm(10, 0, rng=0).num_edges == 0
+
+    def test_max_edges(self):
+        graph = erdos_renyi_gnm(6, 15, rng=0)
+        assert graph.num_edges == 15
+
+    def test_too_many_edges_rejected(self):
+        with pytest.raises(ValueError):
+            erdos_renyi_gnm(4, 7)
+
+    def test_negative_edges_rejected(self):
+        with pytest.raises(ValueError):
+            erdos_renyi_gnm(4, -1)
+
+    def test_deterministic(self):
+        a = erdos_renyi_gnm(30, 40, rng=5)
+        b = erdos_renyi_gnm(30, 40, rng=5)
+        assert sorted(a.edges()) == sorted(b.edges())

@@ -1,0 +1,129 @@
+"""Tests for degree-preserving (dis)assortative rewiring."""
+
+import pytest
+
+from repro.generators.ba import barabasi_albert
+from repro.generators.configuration import (
+    directed_configuration_model,
+    power_law_degree_sequence,
+)
+from repro.generators.rewiring import assortative_arc_swaps, assortative_rewire
+from repro.graph.digraph import DiGraph
+from repro.graph.graph import Graph
+from repro.metrics.exact import (
+    true_directed_assortativity,
+    true_undirected_assortativity,
+)
+
+
+class TestRemoveEdge:
+    def test_graph_remove(self, paw):
+        assert paw.remove_edge(0, 3) is True
+        assert not paw.has_edge(0, 3)
+        assert paw.num_edges == 3
+        assert paw.degree(3) == 0
+
+    def test_graph_remove_missing(self, paw):
+        assert paw.remove_edge(1, 3) is False
+        assert paw.num_edges == 4
+
+    def test_graph_remove_symmetric(self, paw):
+        paw.remove_edge(1, 0)
+        assert not paw.has_edge(0, 1)
+        assert 1 not in paw.neighbor_set(0)
+
+    def test_digraph_remove(self, small_digraph):
+        assert small_digraph.remove_edge(0, 1) is True
+        assert not small_digraph.has_edge(0, 1)
+        assert small_digraph.in_degree(1) == 0
+
+    def test_digraph_remove_is_directed(self, small_digraph):
+        assert small_digraph.remove_edge(1, 0) is False  # only (0,1) exists
+        assert small_digraph.has_edge(0, 1)
+
+
+class TestUndirectedRewiring:
+    def test_degree_sequence_preserved(self):
+        graph = barabasi_albert(300, 2, rng=0)
+        before = graph.degrees()
+        assortative_rewire(graph, 2000, rng=1)
+        assert graph.degrees() == before
+
+    def test_assortativity_increases(self):
+        graph = barabasi_albert(500, 2, rng=2)
+        before = true_undirected_assortativity(graph)
+        applied = assortative_rewire(graph, 3000, rng=3)
+        after = true_undirected_assortativity(graph)
+        assert applied > 0
+        assert after > before
+
+    def test_disassortativity_decreases(self):
+        graph = barabasi_albert(500, 2, rng=4)
+        before = true_undirected_assortativity(graph)
+        assortative_rewire(graph, 3000, rng=5, disassortative=True)
+        after = true_undirected_assortativity(graph)
+        assert after < before
+
+    def test_no_self_loops_or_duplicates(self):
+        graph = barabasi_albert(200, 3, rng=6)
+        assortative_rewire(graph, 2000, rng=7)
+        edges = list(graph.edges())
+        assert len(edges) == len(set(edges))
+        assert all(u != v for u, v in edges)
+
+    def test_zero_steps(self, paw):
+        assert assortative_rewire(paw, 0, rng=0) == 0
+
+    def test_negative_steps_rejected(self, paw):
+        with pytest.raises(ValueError):
+            assortative_rewire(paw, -1)
+
+    def test_tiny_graph_noop(self):
+        graph = Graph(2)
+        graph.add_edge(0, 1)
+        assert assortative_rewire(graph, 100, rng=0) == 0
+
+
+class TestDirectedSwaps:
+    def _heavy_digraph(self, seed):
+        degrees = power_law_degree_sequence(400, 2.0, max_degree=40, rng=seed)
+        return directed_configuration_model(degrees, degrees[::-1], rng=seed)
+
+    def test_degree_sequences_preserved(self):
+        graph = self._heavy_digraph(0)
+        out_before = graph.out_degrees()
+        in_before = graph.in_degrees()
+        assortative_arc_swaps(graph, 3000, rng=1)
+        assert graph.out_degrees() == out_before
+        assert graph.in_degrees() == in_before
+
+    def test_directed_assortativity_increases(self):
+        graph = self._heavy_digraph(2)
+        before = true_directed_assortativity(graph)
+        applied = assortative_arc_swaps(graph, 4000, rng=3)
+        after = true_directed_assortativity(graph)
+        assert applied > 0
+        assert after > before
+
+    def test_disassortative_swaps_decrease(self):
+        graph = self._heavy_digraph(4)
+        before = true_directed_assortativity(graph)
+        assortative_arc_swaps(graph, 4000, rng=5, disassortative=True)
+        assert true_directed_assortativity(graph) < before
+
+    def test_no_self_arcs_or_duplicates(self):
+        graph = self._heavy_digraph(6)
+        assortative_arc_swaps(graph, 3000, rng=7)
+        arcs = list(graph.edges())
+        assert len(arcs) == len(set(arcs))
+        assert all(u != v for u, v in arcs)
+
+    def test_negative_steps_rejected(self, small_digraph):
+        with pytest.raises(ValueError):
+            assortative_arc_swaps(small_digraph, -1)
+
+    def test_edge_count_invariant(self):
+        graph = self._heavy_digraph(8)
+        before = graph.num_edges
+        assortative_arc_swaps(graph, 2000, rng=9)
+        assert graph.num_edges == before

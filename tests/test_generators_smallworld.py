@@ -1,0 +1,56 @@
+"""Tests for Watts–Strogatz small-world graphs."""
+
+import pytest
+
+from repro.generators.smallworld import watts_strogatz
+from repro.metrics.exact import true_global_clustering
+
+
+class TestValidation:
+    def test_odd_k_rejected(self):
+        with pytest.raises(ValueError):
+            watts_strogatz(20, 3, 0.1)
+
+    def test_k_too_large_rejected(self):
+        with pytest.raises(ValueError):
+            watts_strogatz(6, 6, 0.1)
+
+    def test_invalid_prob_rejected(self):
+        with pytest.raises(ValueError):
+            watts_strogatz(20, 4, 1.5)
+
+
+class TestStructure:
+    def test_zero_rewiring_is_ring_lattice(self):
+        graph = watts_strogatz(20, 4, 0.0)
+        assert all(graph.degree(v) == 4 for v in graph.vertices())
+        assert graph.num_edges == 40
+        assert graph.has_edge(0, 1)
+        assert graph.has_edge(0, 2)
+
+    def test_rewired_edge_count_bounded(self):
+        graph = watts_strogatz(50, 4, 0.3, rng=0)
+        assert graph.num_edges <= 100
+        assert graph.num_edges >= 80  # few rewirings fail outright
+
+    def test_full_rewiring_still_valid(self):
+        graph = watts_strogatz(40, 4, 1.0, rng=1)
+        for u, v in graph.edges():
+            assert u != v
+
+    def test_deterministic(self):
+        a = watts_strogatz(30, 4, 0.2, rng=9)
+        b = watts_strogatz(30, 4, 0.2, rng=9)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_lattice_clustering_high(self):
+        """The k=4 ring lattice has clustering 0.5 by construction."""
+        graph = watts_strogatz(60, 4, 0.0)
+        assert true_global_clustering(graph) == pytest.approx(0.5, abs=0.01)
+
+    def test_rewiring_lowers_clustering(self):
+        lattice = watts_strogatz(200, 6, 0.0)
+        rewired = watts_strogatz(200, 6, 0.9, rng=2)
+        assert true_global_clustering(rewired) < true_global_clustering(
+            lattice
+        )

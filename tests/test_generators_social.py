@@ -1,0 +1,109 @@
+"""Tests for the social-network stand-in generator."""
+
+import pytest
+
+from repro.generators.social import SocialGraphSpec, social_network, zipf_groups
+from repro.graph.components import connected_components
+
+
+class TestSpecValidation:
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            SocialGraphSpec(num_vertices=5)
+
+    def test_dust_exceeding_graph_rejected(self):
+        with pytest.raises(ValueError):
+            SocialGraphSpec(
+                num_vertices=100, dust_components=20, dust_size=8
+            )
+
+    def test_member_fraction_range(self):
+        with pytest.raises(ValueError):
+            SocialGraphSpec(num_vertices=100, member_fraction=1.5)
+
+
+class TestSocialNetwork:
+    def test_sizes(self):
+        spec = SocialGraphSpec(num_vertices=500, dust_components=5, dust_size=8)
+        graph, _ = social_network(spec, rng=0)
+        assert graph.num_vertices == 500
+
+    def test_dust_creates_components(self):
+        spec = SocialGraphSpec(
+            num_vertices=600, min_degree=2, dust_components=10, dust_size=8
+        )
+        graph, _ = social_network(spec, rng=1)
+        components = connected_components(graph.to_symmetric())
+        # at least the 10 dust components plus the core
+        assert len(components) >= 11
+        assert len(components[0]) >= 400  # dominant core
+
+    def test_dust_components_have_min_size(self):
+        spec = SocialGraphSpec(
+            num_vertices=400, min_degree=2, dust_components=6, dust_size=7
+        )
+        graph, _ = social_network(spec, rng=2)
+        components = connected_components(graph.to_symmetric())
+        small = [c for c in components if len(c) <= 7]
+        assert len(small) >= 6
+        assert all(len(c) == 7 for c in small)
+
+    def test_groups_assigned(self):
+        spec = SocialGraphSpec(
+            num_vertices=1000, num_groups=20, member_fraction=0.3
+        )
+        _, labels = social_network(spec, rng=3)
+        member_count = sum(1 for _ in labels.labeled_vertices())
+        assert member_count == pytest.approx(300, abs=60)
+
+    def test_deterministic(self):
+        spec = SocialGraphSpec(num_vertices=300)
+        a, _ = social_network(spec, rng=11)
+        b, _ = social_network(spec, rng=11)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_heavy_tail(self):
+        spec = SocialGraphSpec(num_vertices=3000, out_exponent=1.9)
+        graph, _ = social_network(spec, rng=4)
+        symmetric = graph.to_symmetric()
+        assert symmetric.max_degree() > 4 * symmetric.average_degree()
+
+
+class TestZipfGroups:
+    def test_no_groups(self):
+        labels = zipf_groups(100, 0, rng=0)
+        assert len(labels) == 0
+
+    def test_member_fraction_zero(self):
+        labels = zipf_groups(100, 10, member_fraction=0.0, rng=0)
+        assert len(labels) == 0
+
+    def test_negative_groups_rejected(self):
+        with pytest.raises(ValueError):
+            zipf_groups(10, -1)
+
+    def test_extra_prob_validated(self):
+        with pytest.raises(ValueError):
+            zipf_groups(10, 5, extra_group_prob=1.0)
+
+    def test_zipf_popularity_ordering(self):
+        labels = zipf_groups(
+            20000, 10, member_fraction=0.5, zipf_exponent=1.5, rng=5
+        )
+        counts = [labels.count_with_label(g) for g in range(10)]
+        # group 0 strictly most popular; top beats bottom clearly
+        assert counts[0] == max(counts)
+        assert counts[0] > 3 * counts[9]
+
+    def test_labels_are_group_ids(self):
+        labels = zipf_groups(500, 5, member_fraction=0.5, rng=6)
+        assert labels.all_labels() <= set(range(5))
+
+    def test_multiple_memberships_possible(self):
+        labels = zipf_groups(
+            2000, 8, member_fraction=0.9, extra_group_prob=0.7, rng=7
+        )
+        multi = [
+            v for v in labels.labeled_vertices() if len(labels.labels_of(v)) > 1
+        ]
+        assert multi

@@ -1,0 +1,92 @@
+"""Tests for Cartesian powers G^m (Lemma 5.1's state space)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.generators.classic import complete_graph, cycle_graph, path_graph
+from repro.graph.cartesian import (
+    cartesian_power,
+    decode_state,
+    encode_state,
+    state_degree,
+)
+from repro.graph.graph import Graph
+
+
+class TestEncoding:
+    def test_round_trip(self):
+        assert decode_state(encode_state((2, 0, 1), 3), 3, 3) == (2, 0, 1)
+
+    def test_encode_out_of_range(self):
+        with pytest.raises(ValueError):
+            encode_state((3,), 3)
+
+    def test_decode_out_of_range(self):
+        with pytest.raises(ValueError):
+            decode_state(9, 3, 2)
+
+    def test_ordering(self):
+        # (0, 0) -> 0, (0, 1) -> 1, (1, 0) -> n
+        assert encode_state((0, 0), 4) == 0
+        assert encode_state((0, 1), 4) == 1
+        assert encode_state((1, 0), 4) == 4
+
+
+class TestCartesianPower:
+    def test_m1_is_original(self, house):
+        power = cartesian_power(house, 1)
+        assert power.num_vertices == house.num_vertices
+        assert sorted(power.edges()) == sorted(house.edges())
+
+    def test_m_must_be_positive(self, triangle):
+        with pytest.raises(ValueError):
+            cartesian_power(triangle, 0)
+
+    def test_state_cap(self, triangle):
+        with pytest.raises(ValueError):
+            cartesian_power(triangle, 20, max_states=100)
+
+    def test_edge_count_formula(self, paw):
+        """|E^m| = m |V|^(m-1) |E| (stated in the Theorem 5.2 proof)."""
+        for m in (1, 2, 3):
+            power = cartesian_power(paw, m)
+            expected = m * paw.num_vertices ** (m - 1) * paw.num_edges
+            assert power.num_edges == expected
+
+    def test_state_degrees_are_coordinate_sums(self, paw):
+        power = cartesian_power(paw, 2)
+        n = paw.num_vertices
+        for code in range(power.num_vertices):
+            state = decode_state(code, n, 2)
+            assert power.degree(code) == state_degree(paw, state)
+
+    def test_adjacency_differs_in_one_coordinate(self, triangle):
+        power = cartesian_power(triangle, 2)
+        n = triangle.num_vertices
+        for code_a, code_b in power.edges():
+            a = decode_state(code_a, n, 2)
+            b = decode_state(code_b, n, 2)
+            diffs = [i for i in range(2) if a[i] != b[i]]
+            assert len(diffs) == 1
+            i = diffs[0]
+            assert triangle.has_edge(a[i], b[i])
+
+    def test_path_squared_is_grid(self):
+        """P2 x P2 = 2x2 lattice (classic Cartesian product identity)."""
+        path = path_graph(2)
+        power = cartesian_power(path, 2)
+        assert power.num_vertices == 4
+        assert power.num_edges == 4  # the 4-cycle
+
+
+@given(
+    n=st.integers(min_value=2, max_value=5),
+    m=st.integers(min_value=1, max_value=3),
+)
+@settings(max_examples=40, deadline=None)
+def test_complete_graph_power_edge_count(n, m):
+    graph = complete_graph(n)
+    power = cartesian_power(graph, m)
+    assert power.num_vertices == n**m
+    assert power.num_edges == m * n ** (m - 1) * graph.num_edges

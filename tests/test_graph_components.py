@@ -1,0 +1,146 @@
+"""Tests for connected components, checked against networkx as oracle."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.components import (
+    component_sizes,
+    connected_components,
+    induced_subgraph,
+    is_connected,
+    largest_connected_component,
+)
+from repro.graph.graph import Graph
+
+
+class TestConnectedComponents:
+    def test_single_component(self, triangle):
+        components = connected_components(triangle)
+        assert components == [[0, 1, 2]]
+
+    def test_two_components(self, two_triangles):
+        components = connected_components(two_triangles)
+        assert len(components) == 2
+        assert components[0] == [0, 1, 2]
+
+    def test_isolated_vertices_are_components(self):
+        graph = Graph(3)
+        graph.add_edge(0, 1)
+        components = connected_components(graph)
+        assert [2] in components
+
+    def test_largest_first_ordering(self):
+        graph = Graph(5)
+        graph.add_edge(3, 4)
+        graph.add_edge(0, 1)
+        graph.add_edge(1, 2)
+        components = connected_components(graph)
+        assert components[0] == [0, 1, 2]
+
+    def test_empty_graph(self):
+        assert connected_components(Graph()) == []
+
+    def test_component_sizes(self, two_triangles):
+        assert component_sizes(two_triangles) == [3, 3]
+
+
+class TestIsConnected:
+    def test_connected(self, bridge_graph):
+        assert is_connected(bridge_graph)
+
+    def test_disconnected(self, two_triangles):
+        assert not is_connected(two_triangles)
+
+    def test_empty_graph_vacuously_connected(self):
+        assert is_connected(Graph())
+
+    def test_single_vertex(self):
+        assert is_connected(Graph(1))
+
+
+class TestInducedSubgraph:
+    def test_relabeling(self, two_triangles):
+        sub, mapping = induced_subgraph(two_triangles, [3, 4, 5])
+        assert sub.num_vertices == 3
+        assert sub.num_edges == 3
+        assert mapping == {3: 0, 4: 1, 5: 2}
+
+    def test_partial_edges_dropped(self, triangle):
+        sub, _ = induced_subgraph(triangle, [0, 1])
+        assert sub.num_edges == 1
+
+    def test_duplicate_vertices_collapsed(self, triangle):
+        sub, _ = induced_subgraph(triangle, [0, 0, 1])
+        assert sub.num_vertices == 2
+
+    def test_empty_selection(self, triangle):
+        sub, mapping = induced_subgraph(triangle, [])
+        assert sub.num_vertices == 0
+        assert mapping == {}
+
+
+class TestLargestConnectedComponent:
+    def test_lcc_of_disconnected(self):
+        graph = Graph(7)
+        for u, v in [(0, 1), (1, 2), (2, 3)]:
+            graph.add_edge(u, v)
+        graph.add_edge(5, 6)
+        lcc, mapping = largest_connected_component(graph)
+        assert lcc.num_vertices == 4
+        assert lcc.num_edges == 3
+        assert set(mapping) == {0, 1, 2, 3}
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            largest_connected_component(Graph())
+
+    def test_connected_graph_is_its_own_lcc(self, house):
+        lcc, _ = largest_connected_component(house)
+        assert lcc.num_vertices == house.num_vertices
+        assert lcc.num_edges == house.num_edges
+
+
+@st.composite
+def random_graphs(draw):
+    n = draw(st.integers(min_value=1, max_value=40))
+    edges = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=n - 1),
+                st.integers(min_value=0, max_value=n - 1),
+            ).filter(lambda e: e[0] != e[1]),
+            max_size=100,
+        )
+    )
+    graph = Graph(n)
+    for u, v in edges:
+        graph.add_edge(u, v)
+    return graph
+
+
+def _to_networkx(graph: Graph) -> nx.Graph:
+    oracle = nx.Graph()
+    oracle.add_nodes_from(graph.vertices())
+    oracle.add_edges_from(graph.edges())
+    return oracle
+
+
+@given(graph=random_graphs())
+@settings(max_examples=100)
+def test_components_match_networkx(graph):
+    ours = {frozenset(c) for c in connected_components(graph)}
+    oracle = {
+        frozenset(c) for c in nx.connected_components(_to_networkx(graph))
+    }
+    assert ours == oracle
+
+
+@given(graph=random_graphs())
+@settings(max_examples=100)
+def test_is_connected_matches_networkx(graph):
+    oracle_graph = _to_networkx(graph)
+    if graph.num_vertices == 0:
+        return
+    assert is_connected(graph) == nx.is_connected(oracle_graph)

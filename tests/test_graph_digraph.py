@@ -1,0 +1,141 @@
+"""Tests for repro.graph.digraph.DiGraph."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.digraph import DiGraph
+
+
+class TestConstruction:
+    def test_empty(self):
+        graph = DiGraph()
+        assert graph.num_vertices == 0
+        assert graph.num_edges == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            DiGraph(-2)
+
+    def test_from_edges(self, small_digraph):
+        assert small_digraph.num_vertices == 5
+        assert small_digraph.num_edges == 6
+
+    def test_add_vertex(self):
+        graph = DiGraph(1)
+        assert graph.add_vertex() == 1
+
+
+class TestEdges:
+    def test_directedness(self):
+        graph = DiGraph(2)
+        graph.add_edge(0, 1)
+        assert graph.has_edge(0, 1)
+        assert not graph.has_edge(1, 0)
+
+    def test_duplicate_collapses(self):
+        graph = DiGraph(2)
+        graph.add_edge(0, 1)
+        assert graph.add_edge(0, 1) is False
+        assert graph.num_edges == 1
+
+    def test_reciprocal_pair_counts_twice(self):
+        graph = DiGraph(2)
+        graph.add_edge(0, 1)
+        graph.add_edge(1, 0)
+        assert graph.num_edges == 2
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            DiGraph(1).add_edge(0, 0)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(IndexError):
+            DiGraph(1).add_edge(0, 1)
+
+    def test_edges_iteration(self, small_digraph):
+        edges = list(small_digraph.edges())
+        assert len(edges) == small_digraph.num_edges
+        assert (3, 0) in edges
+
+
+class TestDegrees:
+    def test_in_out_degree(self, small_digraph):
+        assert small_digraph.out_degree(0) == 2
+        assert small_digraph.in_degree(0) == 2
+        assert small_digraph.out_degree(3) == 2
+        assert small_digraph.in_degree(3) == 0
+        assert small_digraph.in_degree(4) == 1
+
+    def test_degree_sequences(self, small_digraph):
+        assert sum(small_digraph.out_degrees()) == small_digraph.num_edges
+        assert sum(small_digraph.in_degrees()) == small_digraph.num_edges
+
+    def test_neighbors(self, small_digraph):
+        assert sorted(small_digraph.out_neighbors(0)) == [1, 2]
+        assert sorted(small_digraph.in_neighbors(0)) == [2, 3]
+
+    def test_repr(self, small_digraph):
+        assert "num_edges=6" in repr(small_digraph)
+
+
+class TestSymmetrization:
+    def test_reciprocal_pair_collapses(self):
+        graph = DiGraph.from_edges([(0, 1), (1, 0)])
+        symmetric = graph.to_symmetric()
+        assert symmetric.num_edges == 1
+
+    def test_section2_definition(self, small_digraph):
+        """E = union of both orientations of every directed edge."""
+        symmetric = small_digraph.to_symmetric()
+        for u, v in small_digraph.edges():
+            assert symmetric.has_edge(u, v)
+        # (0,2) and (2,0) both exist directed -> one undirected edge
+        assert symmetric.num_edges == 5
+
+    def test_symmetric_degrees(self, small_digraph):
+        symmetric = small_digraph.to_symmetric()
+        # vertex 0 touches 1, 2, 3
+        assert symmetric.degree(0) == 3
+
+
+@st.composite
+def arc_lists(draw):
+    n = draw(st.integers(min_value=2, max_value=25))
+    arcs = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=n - 1),
+                st.integers(min_value=0, max_value=n - 1),
+            ).filter(lambda e: e[0] != e[1]),
+            max_size=60,
+        )
+    )
+    return n, arcs
+
+
+@given(data=arc_lists())
+@settings(max_examples=100)
+def test_degree_sums_equal_edge_count(data):
+    n, arcs = data
+    graph = DiGraph(n)
+    for u, v in arcs:
+        graph.add_edge(u, v)
+    assert sum(graph.out_degrees()) == graph.num_edges
+    assert sum(graph.in_degrees()) == graph.num_edges
+
+
+@given(data=arc_lists())
+@settings(max_examples=100)
+def test_symmetrization_covers_both_orientations(data):
+    n, arcs = data
+    graph = DiGraph(n)
+    for u, v in arcs:
+        graph.add_edge(u, v)
+    symmetric = graph.to_symmetric()
+    for u, v in graph.edges():
+        assert symmetric.has_edge(u, v)
+        assert symmetric.has_edge(v, u)
+    # every undirected edge is backed by at least one arc
+    for u, v in symmetric.edges():
+        assert graph.has_edge(u, v) or graph.has_edge(v, u)

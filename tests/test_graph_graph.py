@@ -1,0 +1,213 @@
+"""Tests for repro.graph.graph.Graph."""
+
+import random
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.graph import Graph
+
+
+class TestConstruction:
+    def test_empty(self):
+        graph = Graph()
+        assert graph.num_vertices == 0
+        assert graph.num_edges == 0
+
+    def test_negative_vertices_rejected(self):
+        with pytest.raises(ValueError):
+            Graph(-1)
+
+    def test_from_edges_infers_size(self):
+        graph = Graph.from_edges([(0, 1), (1, 4)])
+        assert graph.num_vertices == 5
+        assert graph.num_edges == 2
+
+    def test_from_edges_explicit_size(self):
+        graph = Graph.from_edges([(0, 1)], num_vertices=10)
+        assert graph.num_vertices == 10
+
+    def test_from_edges_empty(self):
+        graph = Graph.from_edges([])
+        assert graph.num_vertices == 0
+
+    def test_add_vertex_returns_id(self):
+        graph = Graph(2)
+        assert graph.add_vertex() == 2
+        assert graph.num_vertices == 3
+
+    def test_add_vertices(self):
+        graph = Graph(1)
+        graph.add_vertices(3)
+        assert graph.num_vertices == 4
+
+    def test_add_vertices_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Graph(1).add_vertices(-1)
+
+
+class TestEdges:
+    def test_add_edge_symmetric(self):
+        graph = Graph(3)
+        assert graph.add_edge(0, 1) is True
+        assert graph.has_edge(0, 1)
+        assert graph.has_edge(1, 0)
+        assert graph.num_edges == 1
+
+    def test_duplicate_edge_collapses(self):
+        graph = Graph(2)
+        graph.add_edge(0, 1)
+        assert graph.add_edge(1, 0) is False
+        assert graph.num_edges == 1
+        assert graph.degree(0) == 1
+
+    def test_self_loop_rejected(self):
+        graph = Graph(2)
+        with pytest.raises(ValueError):
+            graph.add_edge(1, 1)
+
+    def test_out_of_range_rejected(self):
+        graph = Graph(2)
+        with pytest.raises(IndexError):
+            graph.add_edge(0, 2)
+
+    def test_edges_iterates_once(self, paw):
+        edges = list(paw.edges())
+        assert len(edges) == paw.num_edges
+        assert all(u < v for u, v in edges)
+
+    def test_directed_edges_both_orientations(self, paw):
+        directed = list(paw.directed_edges())
+        assert len(directed) == 2 * paw.num_edges
+        assert Counter(directed) == Counter((v, u) for u, v in directed)
+
+
+class TestQueries:
+    def test_degrees(self, paw):
+        assert paw.degrees() == [3, 2, 2, 1]
+        assert paw.degree(0) == 3
+
+    def test_neighbors(self, paw):
+        assert sorted(paw.neighbors(0)) == [1, 2, 3]
+        assert paw.neighbor_set(3) == {0}
+
+    def test_volume_whole_graph(self, paw):
+        assert paw.volume() == 2 * paw.num_edges == 8
+
+    def test_volume_subset(self, paw):
+        assert paw.volume([0, 3]) == 4
+
+    def test_average_degree(self, paw):
+        assert paw.average_degree() == pytest.approx(2.0)
+
+    def test_average_degree_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Graph().average_degree()
+
+    def test_max_degree(self, paw):
+        assert paw.max_degree() == 3
+
+    def test_isolated_vertices(self):
+        graph = Graph(3)
+        graph.add_edge(0, 1)
+        assert graph.isolated_vertices() == [2]
+
+    def test_repr(self, paw):
+        assert "num_vertices=4" in repr(paw)
+
+
+class TestRandomPrimitives:
+    def test_random_vertex_uniform(self, rng):
+        graph = Graph(4)
+        counts = Counter(graph.random_vertex(rng) for _ in range(8000))
+        for v in range(4):
+            assert counts[v] / 8000 == pytest.approx(0.25, abs=0.03)
+
+    def test_random_vertex_empty_rejected(self, rng):
+        with pytest.raises(ValueError):
+            Graph().random_vertex(rng)
+
+    def test_random_neighbor_uniform(self, paw, rng):
+        counts = Counter(paw.random_neighbor(0, rng) for _ in range(9000))
+        for v in (1, 2, 3):
+            assert counts[v] / 9000 == pytest.approx(1 / 3, abs=0.03)
+
+    def test_random_neighbor_isolated_rejected(self, rng):
+        graph = Graph(2)
+        graph.add_edge(0, 1)
+        graph.add_vertex()
+        with pytest.raises(ValueError):
+            graph.random_neighbor(2, rng)
+
+    def test_random_edge_uniform_over_orientations(self, paw, rng):
+        counts = Counter(paw.random_edge(rng) for _ in range(16000))
+        expected = 1.0 / (2 * paw.num_edges)
+        for edge, count in counts.items():
+            assert count / 16000 == pytest.approx(expected, abs=0.02)
+        assert len(counts) == 2 * paw.num_edges
+
+    def test_random_edge_no_edges_rejected(self, rng):
+        with pytest.raises(ValueError):
+            Graph(3).random_edge(rng)
+
+
+class TestCopy:
+    def test_copy_is_deep(self, paw):
+        clone = paw.copy()
+        clone.add_edge(1, 3)
+        assert not paw.has_edge(1, 3)
+        assert clone.num_edges == paw.num_edges + 1
+
+    def test_copy_equal_structure(self, house):
+        clone = house.copy()
+        assert sorted(clone.edges()) == sorted(house.edges())
+
+
+@st.composite
+def edge_lists(draw):
+    n = draw(st.integers(min_value=2, max_value=30))
+    edges = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=n - 1),
+                st.integers(min_value=0, max_value=n - 1),
+            ).filter(lambda e: e[0] != e[1]),
+            max_size=80,
+        )
+    )
+    return n, edges
+
+
+@given(data=edge_lists())
+@settings(max_examples=100)
+def test_handshake_lemma(data):
+    n, edges = data
+    graph = Graph(n)
+    for u, v in edges:
+        graph.add_edge(u, v)
+    assert sum(graph.degrees()) == 2 * graph.num_edges
+
+
+@given(data=edge_lists())
+@settings(max_examples=100)
+def test_adjacency_is_symmetric(data):
+    n, edges = data
+    graph = Graph(n)
+    for u, v in edges:
+        graph.add_edge(u, v)
+    for u in graph.vertices():
+        for v in graph.neighbors(u):
+            assert u in graph.neighbor_set(v)
+
+
+@given(data=edge_lists())
+@settings(max_examples=100)
+def test_edges_match_has_edge(data):
+    n, edges = data
+    graph = Graph(n)
+    for u, v in edges:
+        graph.add_edge(u, v)
+    unique = {(min(u, v), max(u, v)) for u, v in edges}
+    assert sorted(graph.edges()) == sorted(unique)

@@ -1,0 +1,68 @@
+"""Tests for edge-list I/O."""
+
+import pytest
+
+from repro.graph.digraph import DiGraph
+from repro.graph.graph import Graph
+from repro.graph.io import read_edge_list, write_edge_list
+
+
+class TestRoundTrip:
+    def test_undirected(self, tmp_path, house):
+        path = tmp_path / "house.txt"
+        write_edge_list(house, path)
+        loaded = read_edge_list(path, num_vertices=house.num_vertices)
+        assert sorted(loaded.edges()) == sorted(house.edges())
+
+    def test_directed(self, tmp_path, small_digraph):
+        path = tmp_path / "digraph.txt"
+        write_edge_list(small_digraph, path)
+        loaded = read_edge_list(
+            path, directed=True, num_vertices=small_digraph.num_vertices
+        )
+        assert sorted(loaded.edges()) == sorted(small_digraph.edges())
+
+    def test_header_written(self, tmp_path, triangle):
+        path = tmp_path / "g.txt"
+        write_edge_list(triangle, path, header="hello\nworld")
+        text = path.read_text()
+        assert text.startswith("# hello\n# world\n")
+        assert "# vertices=3 edges=3" in text
+
+
+class TestParsing:
+    def test_comments_and_blanks_skipped(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# comment\n\n0 1\n   \n1 2\n")
+        graph = read_edge_list(path)
+        assert graph.num_edges == 2
+
+    def test_extra_columns_tolerated(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1 weight=3\n")
+        graph = read_edge_list(path)
+        assert graph.has_edge(0, 1)
+
+    def test_self_loops_skipped(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 0\n0 1\n")
+        graph = read_edge_list(path)
+        assert graph.num_edges == 1
+
+    def test_malformed_line_rejected(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0\n")
+        with pytest.raises(ValueError, match="expected"):
+            read_edge_list(path)
+
+    def test_non_integer_rejected(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("a b\n")
+        with pytest.raises(ValueError, match="non-integer"):
+            read_edge_list(path)
+
+    def test_size_inferred(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 9\n")
+        graph = read_edge_list(path)
+        assert graph.num_vertices == 10

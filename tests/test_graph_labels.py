@@ -1,0 +1,96 @@
+"""Tests for vertex and edge labelings."""
+
+import pytest
+
+from repro.graph.labels import EdgeLabeling, VertexLabeling
+
+
+class TestVertexLabeling:
+    def test_empty(self):
+        labeling = VertexLabeling()
+        assert labeling.labels_of(0) == set()
+        assert not labeling.is_labeled(0)
+        assert len(labeling) == 0
+
+    def test_add_and_query(self):
+        labeling = VertexLabeling()
+        labeling.add(1, "red")
+        assert labeling.has_label(1, "red")
+        assert not labeling.has_label(1, "blue")
+        assert labeling.is_labeled(1)
+
+    def test_add_many(self):
+        labeling = VertexLabeling()
+        labeling.add_many(0, ["a", "b"])
+        assert labeling.labels_of(0) == {"a", "b"}
+
+    def test_multiple_labels_per_vertex(self):
+        labeling = VertexLabeling()
+        labeling.add(0, 1)
+        labeling.add(0, 2)
+        assert labeling.labels_of(0) == {1, 2}
+        assert len(labeling) == 1
+
+    def test_labeled_vertices(self):
+        labeling = VertexLabeling()
+        labeling.add(2, "x")
+        labeling.add(5, "x")
+        assert sorted(labeling.labeled_vertices()) == [2, 5]
+
+    def test_all_labels(self):
+        labeling = VertexLabeling()
+        labeling.add(0, "a")
+        labeling.add(1, "b")
+        assert labeling.all_labels() == {"a", "b"}
+
+    def test_count_with_label(self):
+        labeling = VertexLabeling()
+        labeling.add(0, "g")
+        labeling.add(1, "g")
+        labeling.add(1, "h")
+        assert labeling.count_with_label("g") == 2
+        assert labeling.count_with_label("h") == 1
+        assert labeling.count_with_label("missing") == 0
+
+    def test_duplicate_add_idempotent(self):
+        labeling = VertexLabeling()
+        labeling.add(0, "a")
+        labeling.add(0, "a")
+        assert labeling.count_with_label("a") == 1
+
+
+class TestEdgeLabeling:
+    def test_empty(self):
+        labeling = EdgeLabeling()
+        assert labeling.labels_of((0, 1)) == set()
+        assert not labeling.is_labeled((0, 1))
+
+    def test_directed_keys(self):
+        labeling = EdgeLabeling()
+        labeling.add((0, 1), "fwd")
+        assert labeling.has_label((0, 1), "fwd")
+        assert not labeling.has_label((1, 0), "fwd")
+
+    def test_add_many(self):
+        labeling = EdgeLabeling()
+        labeling.add_many((0, 1), [(1, 2), (3, 4)])
+        assert labeling.labels_of((0, 1)) == {(1, 2), (3, 4)}
+
+    def test_labeled_edges(self):
+        labeling = EdgeLabeling()
+        labeling.add((0, 1), "x")
+        labeling.add((2, 3), "y")
+        assert sorted(labeling.labeled_edges()) == [(0, 1), (2, 3)]
+
+    def test_all_labels_and_counts(self):
+        labeling = EdgeLabeling()
+        labeling.add((0, 1), "x")
+        labeling.add((1, 2), "x")
+        assert labeling.all_labels() == {"x"}
+        assert labeling.count_with_label("x") == 2
+
+    def test_len(self):
+        labeling = EdgeLabeling()
+        labeling.add((0, 1), "x")
+        labeling.add((0, 1), "y")
+        assert len(labeling) == 1

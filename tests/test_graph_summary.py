@@ -1,0 +1,46 @@
+"""Tests for the Table 1 summary."""
+
+import pytest
+
+from repro.graph.digraph import DiGraph
+from repro.graph.graph import Graph
+from repro.graph.summary import GraphSummary, summarize
+
+
+class TestSummarize:
+    def test_connected_graph(self, paw):
+        summary = summarize(paw, name="paw")
+        assert summary.name == "paw"
+        assert summary.num_vertices == 4
+        assert summary.lcc_size == 4
+        assert summary.num_edges == 4
+        assert summary.average_degree == pytest.approx(2.0)
+        assert summary.wmax == pytest.approx(1.5)  # max 3 / avg 2
+        assert summary.num_components == 1
+
+    def test_disconnected(self, two_triangles):
+        summary = summarize(two_triangles)
+        assert summary.lcc_size == 3
+        assert summary.num_components == 2
+
+    def test_directed_reports_directed_edge_count(self, small_digraph):
+        summary = summarize(small_digraph, name="d")
+        assert summary.num_edges == small_digraph.num_edges
+        # But degrees/LCC come from the symmetric closure.
+        assert summary.num_vertices == 5
+        assert summary.lcc_size == 5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize(Graph())
+
+    def test_render_row_contains_fields(self, paw):
+        summary = summarize(paw, name="paw")
+        row = summary.as_row()
+        assert "paw" in row
+        assert "4" in row
+
+    def test_header_and_row_align(self, paw):
+        header = GraphSummary.header()
+        assert "Graph" in header
+        assert "wmax" in header

@@ -1,0 +1,136 @@
+"""Tests for the RW chain helpers."""
+
+import pytest
+
+from repro.generators.classic import (
+    complete_graph,
+    cycle_graph,
+    path_graph,
+    star_graph,
+)
+from repro.graph.graph import Graph
+from repro.markov.chain import (
+    distribution_after,
+    is_bipartite,
+    rw_stationary_distribution,
+    rw_transition_matrix,
+    step_distribution,
+    total_variation_distance,
+    uniform_distribution,
+)
+
+
+class TestTransitionMatrix:
+    def test_rows_stochastic(self, house):
+        matrix = rw_transition_matrix(house)
+        for row in matrix:
+            assert sum(row) == pytest.approx(1.0)
+
+    def test_entries(self, paw):
+        matrix = rw_transition_matrix(paw)
+        assert matrix[3][0] == pytest.approx(1.0)
+        assert matrix[0][3] == pytest.approx(1 / 3)
+        assert matrix[0][0] == 0.0
+
+    def test_isolated_vertex_zero_row(self):
+        graph = Graph(3)
+        graph.add_edge(0, 1)
+        matrix = rw_transition_matrix(graph)
+        assert matrix[2] == [0.0, 0.0, 0.0]
+
+
+class TestStationaryDistribution:
+    def test_degree_proportional(self, paw):
+        pi = rw_stationary_distribution(paw)
+        assert pi == pytest.approx([3 / 8, 2 / 8, 2 / 8, 1 / 8])
+
+    def test_no_edges_rejected(self):
+        with pytest.raises(ValueError):
+            rw_stationary_distribution(Graph(2))
+
+    def test_fixed_point(self, house):
+        pi = rw_stationary_distribution(house)
+        stepped = step_distribution(house, pi)
+        assert stepped == pytest.approx(pi)
+
+
+class TestStepDistribution:
+    def test_mass_conserved(self, house):
+        dist = uniform_distribution(house)
+        stepped = step_distribution(house, dist)
+        assert sum(stepped) == pytest.approx(1.0)
+
+    def test_wrong_length_rejected(self, house):
+        with pytest.raises(ValueError):
+            step_distribution(house, [1.0])
+
+    def test_isolated_vertex_keeps_mass(self):
+        graph = Graph(3)
+        graph.add_edge(0, 1)
+        stepped = step_distribution(graph, [0.0, 0.0, 1.0])
+        assert stepped[2] == pytest.approx(1.0)
+
+    def test_matches_matrix_product(self, house):
+        matrix = rw_transition_matrix(house)
+        dist = [0.2, 0.2, 0.2, 0.2, 0.2]
+        stepped = step_distribution(house, dist)
+        expected = [
+            sum(dist[u] * matrix[u][v] for u in range(5)) for v in range(5)
+        ]
+        assert stepped == pytest.approx(expected)
+
+
+class TestDistributionAfter:
+    def test_zero_steps_identity(self, house):
+        dist = uniform_distribution(house)
+        assert distribution_after(house, dist, 0) == dist
+
+    def test_negative_rejected(self, house):
+        with pytest.raises(ValueError):
+            distribution_after(house, uniform_distribution(house), -1)
+
+    def test_converges_to_stationary(self, house):
+        """Non-bipartite connected graph: uniform start mixes to pi."""
+        pi = rw_stationary_distribution(house)
+        mixed = distribution_after(house, uniform_distribution(house), 200)
+        assert total_variation_distance(mixed, pi) < 1e-6
+
+    def test_bipartite_oscillates(self):
+        """P4 is bipartite: parity prevents convergence."""
+        graph = path_graph(4)
+        start = [1.0, 0.0, 0.0, 0.0]
+        even = distribution_after(graph, start, 100)
+        odd = distribution_after(graph, start, 101)
+        assert total_variation_distance(even, odd) > 0.3
+
+
+class TestTotalVariation:
+    def test_identical(self):
+        assert total_variation_distance([0.5, 0.5], [0.5, 0.5]) == 0.0
+
+    def test_disjoint(self):
+        assert total_variation_distance([1.0, 0.0], [0.0, 1.0]) == 1.0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            total_variation_distance([1.0], [0.5, 0.5])
+
+
+class TestBipartiteness:
+    def test_even_cycle_bipartite(self):
+        assert is_bipartite(cycle_graph(6))
+
+    def test_odd_cycle_not(self):
+        assert not is_bipartite(cycle_graph(5))
+
+    def test_star_bipartite(self):
+        assert is_bipartite(star_graph(4))
+
+    def test_complete_graph_not(self):
+        assert not is_bipartite(complete_graph(4))
+
+    def test_disconnected_mixed(self, two_triangles):
+        assert not is_bipartite(two_triangles)
+
+    def test_empty_graph_bipartite(self):
+        assert is_bipartite(Graph(3))

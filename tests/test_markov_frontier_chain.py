@@ -1,0 +1,119 @@
+"""Exact verification of Lemma 5.1 and Theorem 5.2 on small graphs."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.generators.classic import complete_graph, cycle_graph
+from repro.graph.cartesian import cartesian_power, decode_state, encode_state
+from repro.markov.chain import (
+    rw_stationary_distribution,
+    rw_transition_matrix,
+    total_variation_distance,
+)
+from repro.markov.frontier_chain import (
+    frontier_stationary_distribution,
+    frontier_transition_matrix,
+)
+from repro.sampling.frontier import FrontierSampler
+
+
+class TestLemma51:
+    """The FS chain built from Algorithm 1's dynamics must equal the RW
+    chain on the explicit Cartesian power G^m."""
+
+    @pytest.mark.parametrize("m", [1, 2, 3])
+    def test_paw_graph(self, paw, m):
+        fs_matrix = frontier_transition_matrix(paw, m)
+        rw_matrix = rw_transition_matrix(cartesian_power(paw, m))
+        for fs_row, rw_row in zip(fs_matrix, rw_matrix):
+            assert fs_row == pytest.approx(rw_row, abs=1e-12)
+
+    @pytest.mark.parametrize("m", [1, 2])
+    def test_house_graph(self, house, m):
+        fs_matrix = frontier_transition_matrix(house, m)
+        rw_matrix = rw_transition_matrix(cartesian_power(house, m))
+        for fs_row, rw_row in zip(fs_matrix, rw_matrix):
+            assert fs_row == pytest.approx(rw_row, abs=1e-12)
+
+    def test_transition_probability_is_inverse_frontier_volume(self, paw):
+        """P[L -> L'] = 1/|e(L)| = 1/sum deg(v_i) for adjacent states."""
+        matrix = frontier_transition_matrix(paw, 2)
+        n = paw.num_vertices
+        for code, row in enumerate(matrix):
+            state = decode_state(code, n, 2)
+            volume = sum(paw.degree(v) for v in state)
+            for target, probability in enumerate(row):
+                if probability > 0:
+                    assert probability == pytest.approx(1.0 / volume)
+
+    def test_state_cap_enforced(self, paw):
+        with pytest.raises(ValueError):
+            frontier_transition_matrix(paw, 10, max_states=100)
+
+
+class TestTheorem52:
+    """The stationary law of FS on G^m."""
+
+    @pytest.mark.parametrize("m", [1, 2, 3])
+    def test_stationary_is_fixed_point(self, paw, m):
+        pi = frontier_stationary_distribution(paw, m)
+        matrix = frontier_transition_matrix(paw, m)
+        n_states = len(pi)
+        pushed = [
+            sum(pi[s] * matrix[s][t] for s in range(n_states))
+            for t in range(n_states)
+        ]
+        assert pushed == pytest.approx(pi, abs=1e-12)
+
+    def test_stationary_sums_to_one(self, house):
+        pi = frontier_stationary_distribution(house, 2)
+        assert sum(pi) == pytest.approx(1.0)
+
+    def test_m1_matches_rw_stationary(self, paw):
+        assert frontier_stationary_distribution(paw, 1) == pytest.approx(
+            rw_stationary_distribution(paw)
+        )
+
+    def test_closed_form(self, paw):
+        """P[L] = sum deg(v_i) / (m |V|^(m-1) vol(V))."""
+        m = 2
+        pi = frontier_stationary_distribution(paw, m)
+        n = paw.num_vertices
+        denominator = m * n ** (m - 1) * paw.volume()
+        for code, probability in enumerate(pi):
+            state = decode_state(code, n, m)
+            expected = sum(paw.degree(v) for v in state) / denominator
+            assert probability == pytest.approx(expected)
+
+    def test_no_edges_rejected(self):
+        from repro.graph.graph import Graph
+
+        with pytest.raises(ValueError):
+            frontier_stationary_distribution(Graph(2), 2)
+
+
+class TestSimulationAgreesWithChain:
+    def test_fs_empirical_state_law(self, triangle):
+        """Long FS simulation's frontier-state occupancy matches the
+        Theorem 5.2 stationary law (state identified up to ordering of
+        the walker list, which the chain distinguishes)."""
+        m = 2
+        pi = frontier_stationary_distribution(triangle, m)
+        sampler = FrontierSampler(m)
+        rng = random.Random(5)
+        steps = 40_000
+        trace = sampler.sample_from(triangle, [0, 1], steps, rng)
+        # Replay the exact ordered frontier using walker_indices.
+        positions = [0, 1]
+        counts = Counter()
+        for edge, walker in zip(trace.edges, trace.walker_indices):
+            assert positions[walker] == edge[0]
+            positions[walker] = edge[1]
+            counts[tuple(positions)] += 1
+        n = triangle.num_vertices
+        empirical = [0.0] * (n**m)
+        for state, count in counts.items():
+            empirical[encode_state(state, n)] += count / steps
+        assert total_variation_distance(empirical, pi) < 0.02

@@ -1,0 +1,64 @@
+"""Tests for spectral diagnostics."""
+
+import pytest
+
+from repro.generators.classic import complete_graph, cycle_graph, path_graph
+from repro.graph.graph import Graph
+from repro.markov.spectral import (
+    relaxation_time,
+    spectral_gap,
+    transition_eigenvalues,
+)
+
+
+class TestEigenvalues:
+    def test_largest_is_one(self, house):
+        eigenvalues = transition_eigenvalues(house)
+        assert eigenvalues[0] == pytest.approx(1.0)
+
+    def test_all_in_unit_interval(self, paw):
+        for value in transition_eigenvalues(paw):
+            assert -1.0 - 1e-9 <= value <= 1.0 + 1e-9
+
+    def test_complete_graph_spectrum(self):
+        """K_n has eigenvalues 1 and -1/(n-1) with multiplicity n-1."""
+        eigenvalues = transition_eigenvalues(complete_graph(5))
+        assert eigenvalues[0] == pytest.approx(1.0)
+        for value in eigenvalues[1:]:
+            assert value == pytest.approx(-0.25, abs=1e-9)
+
+    def test_bipartite_has_minus_one(self):
+        eigenvalues = transition_eigenvalues(cycle_graph(4))
+        assert eigenvalues[-1] == pytest.approx(-1.0)
+
+    def test_isolated_vertex_rejected(self):
+        graph = Graph(3)
+        graph.add_edge(0, 1)
+        with pytest.raises(ValueError):
+            transition_eigenvalues(graph)
+
+
+class TestGap:
+    def test_bipartite_gap_zero(self):
+        assert spectral_gap(cycle_graph(6)) == pytest.approx(0.0, abs=1e-9)
+
+    def test_complete_graph_gap(self):
+        assert spectral_gap(complete_graph(5)) == pytest.approx(0.75)
+
+    def test_longer_paths_mix_slower(self):
+        # odd paths are bipartite; compare cliques with a chord-path
+        fast = complete_graph(6)
+        slow = Graph(6)
+        for v in range(5):
+            slow.add_edge(v, v + 1)
+        slow.add_edge(0, 2)  # break bipartiteness
+        assert spectral_gap(fast) > spectral_gap(slow)
+
+    def test_relaxation_time_inverse(self):
+        graph = complete_graph(4)
+        assert relaxation_time(graph) == pytest.approx(
+            1.0 / spectral_gap(graph)
+        )
+
+    def test_relaxation_time_infinite_for_bipartite(self):
+        assert relaxation_time(cycle_graph(4)) == float("inf")

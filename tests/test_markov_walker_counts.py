@@ -1,0 +1,125 @@
+"""Tests for Kfs / Kun / Kmw walker-count laws (Lemma 5.3 etc.)."""
+
+import math
+
+import pytest
+
+from repro.generators.classic import complete_graph, star_graph
+from repro.generators.composite import join_by_bridge
+from repro.markov.walker_counts import (
+    kfs_pmf,
+    kfs_pmf_by_enumeration,
+    kmw_expected_count,
+    kmw_to_uniform_ratio,
+    kun_pmf,
+    pmf_total_variation,
+)
+
+
+class TestKun:
+    def test_binomial(self):
+        pmf = kun_pmf(3, 0.5)
+        assert pmf == pytest.approx([0.125, 0.375, 0.375, 0.125])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            kun_pmf(0, 0.5)
+        with pytest.raises(ValueError):
+            kun_pmf(3, 1.5)
+
+    def test_sums_to_one(self):
+        assert sum(kun_pmf(10, 0.3)) == pytest.approx(1.0)
+
+
+class TestKfsClosedForm:
+    @pytest.mark.parametrize("m", [1, 2, 3])
+    def test_matches_enumeration_paw(self, paw, m):
+        """Lemma 5.3's formula vs brute-force summation of Theorem 5.2's
+        stationary law over all states of G^m."""
+        subset = [0, 1]  # contains the hub: d_A != d
+        closed = kfs_pmf(paw, subset, m)
+        enumerated = kfs_pmf_by_enumeration(paw, subset, m)
+        assert closed == pytest.approx(enumerated, abs=1e-12)
+
+    @pytest.mark.parametrize("m", [1, 2])
+    def test_matches_enumeration_house(self, house, m):
+        subset = [0]
+        closed = kfs_pmf(house, subset, m)
+        enumerated = kfs_pmf_by_enumeration(house, subset, m)
+        assert closed == pytest.approx(enumerated, abs=1e-12)
+
+    def test_sums_to_one(self, paw):
+        assert sum(kfs_pmf(paw, [0, 3], 5)) == pytest.approx(1.0)
+
+    def test_regular_graph_kfs_equals_kun(self):
+        """When d_A = d_B = d (regular graph) the size-biasing cancels
+        and Kfs is exactly binomial."""
+        graph = complete_graph(6)
+        subset = [0, 1]
+        assert kfs_pmf(graph, subset, 4) == pytest.approx(
+            kun_pmf(4, 2 / 6)
+        )
+
+    def test_validation(self, paw):
+        with pytest.raises(ValueError):
+            kfs_pmf(paw, [], 2)
+        with pytest.raises(ValueError):
+            kfs_pmf(paw, [0, 1, 2, 3], 2)  # not a proper subset
+        with pytest.raises(IndexError):
+            kfs_pmf(paw, [99], 2)
+
+
+class TestTheorem54:
+    def test_tv_distance_shrinks_with_m(self):
+        """Kfs -> Kun as m grows (Theorem 5.4), on a degree-skewed
+        graph where the m=1 distance is visible."""
+        graph = star_graph(9)  # hub degree 9, leaves degree 1
+        subset = [0]  # the hub
+        distances = [
+            pmf_total_variation(
+                kfs_pmf(graph, subset, m), kun_pmf(m, 1 / 10)
+            )
+            for m in (1, 4, 16, 64, 256)
+        ]
+        assert distances[0] > 0.3
+        for earlier, later in zip(distances, distances[1:]):
+            assert later < earlier
+        # Theorem 5.4 convergence is O(1/sqrt(m)) — slow but real.
+        assert distances[-1] < 0.1 * distances[0]
+
+
+class TestKmw:
+    def test_expected_count(self, paw):
+        # V_A = {0}: d_A = 3, d = 2 -> E[Kmw] = m * (1/4) * 3/2
+        assert kmw_expected_count(paw, [0], 8) == pytest.approx(3.0)
+
+    def test_alpha_ratio_section51(self, paw):
+        """alpha_A = d_A / d, the degree bias of independent walkers."""
+        assert kmw_to_uniform_ratio(paw, [0]) == pytest.approx(1.5)
+        assert kmw_to_uniform_ratio(paw, [3]) == pytest.approx(0.5)
+
+    def test_alpha_one_for_average_subset(self, paw):
+        # {1, 2} has average degree 2 = d -> no bias
+        assert kmw_to_uniform_ratio(paw, [1, 2]) == pytest.approx(1.0)
+
+    def test_gab_style_bias(self):
+        """On a bridge of sparse+dense BA graphs, the sparse side gets
+        alpha < 1 worth of walkers per its share — the Section 6.2
+        oversampling argument (uniform seeding gives it *more* than its
+        stationary share)."""
+        from repro.generators.ba import barabasi_albert
+
+        sparse = barabasi_albert(100, 1, rng=0)
+        dense = barabasi_albert(100, 5, rng=1)
+        graph = join_by_bridge(sparse, dense)
+        sparse_side = list(range(100))
+        alpha = kmw_to_uniform_ratio(graph, sparse_side)
+        assert alpha < 0.5  # sparse side holds far fewer steady-state walkers
+
+
+class TestPmfTotalVariation:
+    def test_identical(self):
+        assert pmf_total_variation([0.5, 0.5], [0.5, 0.5]) == 0.0
+
+    def test_padding(self):
+        assert pmf_total_variation([1.0], [0.5, 0.5]) == pytest.approx(0.5)

@@ -1,0 +1,97 @@
+"""Tests for NMSE / CNMSE / bias metrics."""
+
+import math
+
+import pytest
+
+from repro.metrics.errors import (
+    cnmse_curve,
+    mean_curve,
+    nmse,
+    nmse_curve,
+    relative_bias,
+)
+
+
+class TestNmse:
+    def test_exact_estimates_zero_error(self):
+        assert nmse([0.5, 0.5, 0.5], 0.5) == 0.0
+
+    def test_hand_computed(self):
+        # estimates 0.4 and 0.6 around truth 0.5:
+        # MSE = 0.01, sqrt = 0.1, / 0.5 = 0.2
+        assert nmse([0.4, 0.6], 0.5) == pytest.approx(0.2)
+
+    def test_matches_eq1_form(self):
+        estimates = [0.2, 0.3, 0.7]
+        truth = 0.4
+        mse = sum((x - truth) ** 2 for x in estimates) / 3
+        assert nmse(estimates, truth) == pytest.approx(
+            math.sqrt(mse) / truth
+        )
+
+    def test_zero_truth_rejected(self):
+        with pytest.raises(ValueError):
+            nmse([0.1], 0.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            nmse([], 1.0)
+
+
+class TestRelativeBias:
+    def test_unbiased(self):
+        assert relative_bias([0.4, 0.6], 0.5) == pytest.approx(0.0)
+
+    def test_underestimate_positive_bias(self):
+        # Table 2's convention: bias = 1 - E[r_hat]/r
+        assert relative_bias([0.25], 0.5) == pytest.approx(0.5)
+
+    def test_overestimate_negative_bias(self):
+        assert relative_bias([1.0], 0.5) == pytest.approx(-1.0)
+
+    def test_zero_truth_rejected(self):
+        with pytest.raises(ValueError):
+            relative_bias([0.1], 0.0)
+
+
+class TestCurves:
+    def test_nmse_curve_aggregates_runs(self):
+        truth = {1: 0.5, 2: 0.5}
+        runs = [{1: 0.4, 2: 0.5}, {1: 0.6, 2: 0.5}]
+        curve = nmse_curve(runs, truth)
+        assert curve[1] == pytest.approx(0.2)
+        assert curve[2] == 0.0
+
+    def test_missing_degree_counts_as_zero_estimate(self):
+        truth = {3: 0.5}
+        runs = [{}, {3: 0.5}]
+        # estimates are 0.0 and 0.5 -> MSE = 0.125
+        assert nmse_curve(runs, truth)[3] == pytest.approx(
+            math.sqrt(0.125) / 0.5
+        )
+
+    def test_zero_truth_degrees_skipped(self):
+        truth = {1: 0.0, 2: 1.0}
+        curve = nmse_curve([{2: 1.0}], truth)
+        assert 1 not in curve
+        assert curve[2] == 0.0
+
+    def test_no_runs_rejected(self):
+        with pytest.raises(ValueError):
+            nmse_curve([], {1: 0.5})
+
+    def test_cnmse_is_nmse_on_ccdf(self):
+        truth = {0: 0.8, 1: 0.2}
+        runs = [{0: 0.7, 1: 0.25}]
+        assert cnmse_curve(runs, truth) == nmse_curve(runs, truth)
+
+    def test_mean_curve(self):
+        runs = [{1: 0.2}, {1: 0.4, 2: 1.0}]
+        mean = mean_curve(runs)
+        assert mean[1] == pytest.approx(0.3)
+        assert mean[2] == pytest.approx(0.5)
+
+    def test_mean_curve_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean_curve([])

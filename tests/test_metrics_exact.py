@@ -1,0 +1,82 @@
+"""Tests for ground-truth metric computation."""
+
+import pytest
+
+from repro.graph.graph import Graph
+from repro.graph.labels import VertexLabeling
+from repro.metrics.exact import (
+    true_degree_ccdf,
+    true_degree_pmf,
+    true_group_densities,
+    true_vertex_label_density,
+)
+
+
+class TestDegreePmf:
+    def test_paw(self, paw):
+        pmf = true_degree_pmf(paw)
+        assert pmf[1] == pytest.approx(0.25)
+        assert pmf[2] == pytest.approx(0.5)
+        assert pmf[3] == pytest.approx(0.25)
+        assert pmf[0] == 0.0
+
+    def test_dense_support(self, star5):
+        pmf = true_degree_pmf(star5)
+        assert set(pmf) == {0, 1, 2, 3, 4, 5}
+        assert pmf[5] == pytest.approx(1 / 6)
+        assert pmf[1] == pytest.approx(5 / 6)
+
+    def test_custom_label(self, paw):
+        pmf = true_degree_pmf(paw, degree_of=lambda v: v % 2)
+        assert pmf[0] == pytest.approx(0.5)
+        assert pmf[1] == pytest.approx(0.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            true_degree_pmf(Graph())
+
+    def test_sums_to_one(self, house):
+        assert sum(true_degree_pmf(house).values()) == pytest.approx(1.0)
+
+
+class TestDegreeCcdf:
+    def test_strictly_greater_semantics(self, paw):
+        ccdf = true_degree_ccdf(paw)
+        assert ccdf[0] == pytest.approx(1.0)  # all degrees > 0
+        assert ccdf[1] == pytest.approx(0.75)
+        assert ccdf[3] == pytest.approx(0.0)
+
+    def test_monotone(self, house):
+        ccdf = true_degree_ccdf(house)
+        keys = sorted(ccdf)
+        for a, b in zip(keys, keys[1:]):
+            assert ccdf[a] >= ccdf[b]
+
+
+class TestLabelDensity:
+    def test_density(self, paw):
+        labels = VertexLabeling()
+        labels.add(0, "x")
+        labels.add(2, "x")
+        assert true_vertex_label_density(paw, labels, "x") == pytest.approx(
+            0.5
+        )
+
+    def test_missing_label(self, paw):
+        assert true_vertex_label_density(paw, VertexLabeling(), "x") == 0.0
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(ValueError):
+            true_vertex_label_density(Graph(), VertexLabeling(), "x")
+
+    def test_group_densities(self, paw):
+        labels = VertexLabeling()
+        labels.add(0, "a")
+        labels.add(1, "a")
+        labels.add(1, "b")
+        densities = true_group_densities(paw, labels, ["a", "b", "c"])
+        assert densities == {
+            "a": pytest.approx(0.5),
+            "b": pytest.approx(0.25),
+            "c": 0.0,
+        }

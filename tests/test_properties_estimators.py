@@ -1,0 +1,133 @@
+"""Property-based tests: estimator invariants over random graphs and
+random walks.
+
+Whatever the graph and however short the walk, the estimators must
+produce structurally valid outputs (correct ranges, normalization,
+monotonicity).  Hypothesis drives both the topology and the walk seed.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.generators.configuration import configuration_model
+from repro.graph.components import largest_connected_component
+from repro.graph.graph import Graph
+from repro.graph.labels import VertexLabeling
+from repro.sampling.frontier import FrontierSampler
+from repro.sampling.single import SingleRandomWalk
+from repro.estimators.assortativity import assortativity_from_trace
+from repro.estimators.clustering import global_clustering_from_trace
+from repro.estimators.degree import (
+    degree_ccdf_from_trace,
+    degree_pmf_from_trace,
+)
+from repro.estimators.vertex_density import (
+    vertex_label_densities_from_trace,
+)
+
+
+@st.composite
+def walkable_graphs(draw):
+    """A connected graph with >= 4 vertices and >= 4 edges."""
+    n = draw(st.integers(min_value=8, max_value=40))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    rng = random.Random(seed)
+    degrees = [rng.randint(1, 5) for _ in range(n)]
+    graph = configuration_model(degrees, rng=rng)
+    lcc, _ = largest_connected_component(graph)
+    if lcc.num_vertices < 4 or lcc.num_edges < 4:
+        # fall back to a cycle with chords — always valid
+        lcc = Graph(8)
+        for v in range(8):
+            lcc.add_edge(v, (v + 1) % 8)
+        lcc.add_edge(0, 4)
+    return lcc
+
+
+@given(
+    graph=walkable_graphs(),
+    seed=st.integers(min_value=0, max_value=10_000),
+    budget=st.integers(min_value=20, max_value=200),
+)
+@settings(max_examples=60, deadline=None)
+def test_degree_pmf_is_a_distribution(graph, seed, budget):
+    trace = SingleRandomWalk().sample(graph, budget, rng=seed)
+    pmf = degree_pmf_from_trace(graph, trace)
+    assert sum(pmf.values()) == pytest.approx(1.0)
+    assert all(v >= 0 for v in pmf.values())
+    assert set(pmf) == set(range(max(pmf) + 1))
+
+
+@given(
+    graph=walkable_graphs(),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+@settings(max_examples=60, deadline=None)
+def test_degree_ccdf_monotone_and_bounded(graph, seed):
+    trace = FrontierSampler(4).sample(graph, 100, rng=seed)
+    ccdf = degree_ccdf_from_trace(graph, trace)
+    keys = sorted(ccdf)
+    values = [ccdf[k] for k in keys]
+    assert all(a >= b - 1e-12 for a, b in zip(values, values[1:]))
+    assert all(-1e-12 <= v <= 1 + 1e-12 for v in values)
+
+
+@given(
+    graph=walkable_graphs(),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+@settings(max_examples=60, deadline=None)
+def test_assortativity_in_range(graph, seed):
+    trace = SingleRandomWalk().sample(graph, 150, rng=seed)
+    value = assortativity_from_trace(graph, trace)
+    assert -1.0 - 1e-9 <= value <= 1.0 + 1e-9
+
+
+@given(
+    graph=walkable_graphs(),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+@settings(max_examples=60, deadline=None)
+def test_clustering_in_unit_interval(graph, seed):
+    trace = SingleRandomWalk().sample(graph, 150, rng=seed)
+    try:
+        value = global_clustering_from_trace(graph, trace)
+    except ValueError:
+        return  # no degree>=2 vertex sampled: estimator undefined
+    assert -1e-9 <= value <= 1.0 + 1e-9
+
+
+@given(
+    graph=walkable_graphs(),
+    seed=st.integers(min_value=0, max_value=10_000),
+    label_seed=st.integers(min_value=0, max_value=100),
+)
+@settings(max_examples=60, deadline=None)
+def test_label_densities_partition_sums_to_one(graph, seed, label_seed):
+    """Labels that partition V have estimated densities summing to 1."""
+    rng = random.Random(label_seed)
+    labels = VertexLabeling()
+    names = ["a", "b", "c"]
+    for v in graph.vertices():
+        labels.add(v, names[rng.randrange(3)])
+    trace = FrontierSampler(3).sample(graph, 80, rng=seed)
+    densities = vertex_label_densities_from_trace(graph, trace, labels, names)
+    assert sum(densities.values()) == pytest.approx(1.0)
+    assert all(0.0 <= v <= 1.0 for v in densities.values())
+
+
+@given(
+    graph=walkable_graphs(),
+    seed=st.integers(min_value=0, max_value=10_000),
+    m=st.integers(min_value=1, max_value=8),
+)
+@settings(max_examples=60, deadline=None)
+def test_fs_and_single_same_estimator_support(graph, seed, m):
+    """FS and SingleRW traces feed the same estimator machinery: the
+    estimated supports are subsets of the true degree range."""
+    fs_trace = FrontierSampler(m).sample(graph, 80, rng=seed)
+    pmf = degree_pmf_from_trace(graph, fs_trace)
+    assert max(pmf) <= graph.max_degree()

@@ -1,0 +1,74 @@
+"""The documented public API must exist and be importable."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestTopLevel:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_quickstart_flow(self):
+        """The README quickstart, verbatim."""
+        from repro import FrontierSampler, barabasi_albert
+        from repro.estimators import degree_ccdf_from_trace
+
+        graph = barabasi_albert(500, 3, rng=42)
+        trace = FrontierSampler(dimension=16).sample(graph, budget=200, rng=1)
+        ccdf = degree_ccdf_from_trace(graph, trace)
+        assert ccdf
+
+
+@pytest.mark.parametrize(
+    "module",
+    [
+        "repro.util",
+        "repro.graph",
+        "repro.generators",
+        "repro.sampling",
+        "repro.estimators",
+        "repro.metrics",
+        "repro.markov",
+        "repro.analysis",
+        "repro.datasets",
+        "repro.experiments",
+        "repro.experiments.ablations",
+        "repro.experiments.cli",
+        "repro.experiments.figures",
+        "repro.experiments.tables",
+        "repro.estimators.diagnostics",
+        "repro.estimators.size",
+        "repro.sampling.burnin",
+        "repro.generators.rewiring",
+        "repro.markov.spectral",
+    ],
+)
+def test_module_imports(module):
+    importlib.import_module(module)
+
+
+@pytest.mark.parametrize(
+    "package",
+    [
+        "repro.util",
+        "repro.graph",
+        "repro.generators",
+        "repro.sampling",
+        "repro.estimators",
+        "repro.metrics",
+        "repro.markov",
+        "repro.analysis",
+        "repro.datasets",
+    ],
+)
+def test_package_all_resolves(package):
+    module = importlib.import_module(package)
+    for name in getattr(module, "__all__", []):
+        assert hasattr(module, name), f"{package}.{name}"

@@ -1,0 +1,121 @@
+"""Tests for sampler plumbing: traces, seeding, budget accounting."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.graph.graph import Graph
+from repro.sampling.base import (
+    VertexTrace,
+    WalkTrace,
+    check_seeding,
+    make_seeds,
+    stationary_seeds,
+    uniform_seeds,
+    walk_steps,
+)
+
+
+class TestWalkTrace:
+    def test_properties(self):
+        trace = WalkTrace(
+            method="x",
+            edges=[(0, 1), (1, 2)],
+            initial_vertices=[0],
+            budget=10,
+            seed_cost=1.0,
+        )
+        assert trace.num_steps == 2
+        assert trace.visited_vertices == [1, 2]
+        assert trace.spent() == 3.0
+
+    def test_spent_with_seed_cost(self):
+        trace = WalkTrace(
+            method="x",
+            edges=[(0, 1)] * 4,
+            initial_vertices=[0, 1],
+            budget=30,
+            seed_cost=10.0,
+        )
+        assert trace.spent() == 24.0
+
+
+class TestVertexTrace:
+    def test_num_samples(self):
+        trace = VertexTrace(
+            method="rv", vertices=[1, 2, 2], budget=10, cost_per_sample=1.0
+        )
+        assert trace.num_samples == 3
+
+
+class TestSeeding:
+    def test_check_seeding_valid(self):
+        assert check_seeding("uniform") == "uniform"
+        assert check_seeding("stationary") == "stationary"
+
+    def test_check_seeding_invalid(self):
+        with pytest.raises(ValueError):
+            check_seeding("magic")
+
+    def test_uniform_seeds_skip_isolated(self, rng):
+        graph = Graph(3)
+        graph.add_edge(0, 1)  # vertex 2 is isolated
+        seeds = uniform_seeds(graph, 200, rng)
+        assert 2 not in seeds
+
+    def test_uniform_seeds_uniform_over_walkable(self, rng):
+        graph = Graph(3)
+        graph.add_edge(0, 1)
+        graph.add_edge(1, 2)
+        counts = Counter(uniform_seeds(graph, 9000, rng))
+        for v in range(3):
+            assert counts[v] / 9000 == pytest.approx(1 / 3, abs=0.03)
+
+    def test_uniform_seeds_empty_graph_rejected(self, rng):
+        with pytest.raises(ValueError):
+            uniform_seeds(Graph(3), 1, rng)
+
+    def test_uniform_negative_count_rejected(self, triangle, rng):
+        with pytest.raises(ValueError):
+            uniform_seeds(triangle, -1, rng)
+
+    def test_stationary_seeds_degree_proportional(self, paw, rng):
+        counts = Counter(stationary_seeds(paw, 16000, rng))
+        volume = paw.volume()
+        for v in paw.vertices():
+            expected = paw.degree(v) / volume
+            assert counts[v] / 16000 == pytest.approx(expected, abs=0.02)
+
+    def test_stationary_seeds_no_edges_rejected(self, rng):
+        with pytest.raises(ValueError):
+            stationary_seeds(Graph(3), 1, rng)
+
+    def test_make_seeds_dispatch(self, triangle, rng):
+        assert len(make_seeds(triangle, 5, "uniform", rng)) == 5
+        assert len(make_seeds(triangle, 5, "stationary", rng)) == 5
+        with pytest.raises(ValueError):
+            make_seeds(triangle, 5, "nope", rng)
+
+
+class TestWalkSteps:
+    def test_basic_accounting(self):
+        assert walk_steps(100, 10, 1.0) == 90
+
+    def test_floors_at_zero(self):
+        assert walk_steps(5, 10, 1.0) == 0
+
+    def test_fractional_budget(self):
+        assert walk_steps(10.7, 1, 1.0) == 9
+
+    def test_seed_cost_scaling(self):
+        # the Section 6.4 regime: seeds cost 1/hit_ratio
+        assert walk_steps(1000, 10, 10.0) == 900
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError):
+            walk_steps(-1, 1, 1.0)
+
+    def test_negative_seed_cost_rejected(self):
+        with pytest.raises(ValueError):
+            walk_steps(10, 1, -1.0)

@@ -1,0 +1,65 @@
+"""Tests for burn-in handling."""
+
+import pytest
+
+from repro.sampling.burnin import discard_burn_in, effective_sample_count
+from repro.sampling.frontier import FrontierSampler
+from repro.sampling.multiple import MultipleRandomWalk
+from repro.sampling.single import SingleRandomWalk
+
+
+class TestDiscardBurnIn:
+    def test_zero_is_identity(self, house):
+        trace = SingleRandomWalk().sample(house, 50, rng=0)
+        assert discard_burn_in(trace, 0) is trace
+
+    def test_negative_rejected(self, house):
+        trace = SingleRandomWalk().sample(house, 50, rng=0)
+        with pytest.raises(ValueError):
+            discard_burn_in(trace, -1)
+
+    def test_single_walker_prefix_dropped(self, house):
+        trace = SingleRandomWalk().sample(house, 50, rng=1)
+        burned = discard_burn_in(trace, 10)
+        assert burned.edges == trace.edges[10:]
+        assert burned.num_steps == trace.num_steps - 10
+
+    def test_original_untouched(self, house):
+        trace = SingleRandomWalk().sample(house, 50, rng=2)
+        before = list(trace.edges)
+        discard_burn_in(trace, 10)
+        assert trace.edges == before
+
+    def test_budget_still_reflects_full_spend(self, house):
+        trace = SingleRandomWalk().sample(house, 50, rng=3)
+        burned = discard_burn_in(trace, 10)
+        assert burned.budget == trace.budget
+
+    def test_multi_walker_proportional(self, house):
+        trace = MultipleRandomWalk(4).sample(house, 100, rng=4)
+        burned = discard_burn_in(trace, 40)
+        per_walker_burn = 10
+        for original, kept in zip(trace.per_walker, burned.per_walker):
+            assert kept == original[per_walker_burn:]
+        assert len(burned.edges) == sum(len(e) for e in burned.per_walker)
+
+    def test_fs_trace_supported(self, house):
+        trace = FrontierSampler(4).sample(house, 100, rng=5)
+        burned = discard_burn_in(trace, 40)
+        assert burned.walker_indices is None
+        assert burned.num_steps < trace.num_steps
+
+    def test_burn_longer_than_trace(self, house):
+        trace = SingleRandomWalk().sample(house, 20, rng=6)
+        burned = discard_burn_in(trace, 100)
+        assert burned.edges == []
+
+
+class TestEffectiveSampleCount:
+    def test_basic(self, house):
+        trace = SingleRandomWalk().sample(house, 50, rng=7)
+        assert effective_sample_count(trace, 10) == trace.num_steps - 10
+
+    def test_floor_at_zero(self, house):
+        trace = SingleRandomWalk().sample(house, 20, rng=8)
+        assert effective_sample_count(trace, 1000) == 0

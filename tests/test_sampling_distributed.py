@@ -1,0 +1,104 @@
+"""Tests for DistributedFrontierSampler (Theorem 5.5)."""
+
+from collections import Counter
+
+import pytest
+
+from repro.graph.graph import Graph
+from repro.sampling.distributed import DistributedFrontierSampler
+from repro.sampling.frontier import FrontierSampler
+
+
+class TestValidation:
+    def test_dimension_positive(self):
+        with pytest.raises(ValueError):
+            DistributedFrontierSampler(0)
+
+    def test_bad_seeding(self):
+        with pytest.raises(ValueError):
+            DistributedFrontierSampler(2, seeding="nope")
+
+    def test_negative_seed_cost(self):
+        with pytest.raises(ValueError):
+            DistributedFrontierSampler(2, seed_cost=-1)
+
+
+class TestMechanics:
+    def test_budget_accounting(self, house):
+        trace = DistributedFrontierSampler(4).sample(house, 100, rng=0)
+        assert trace.num_steps == 96
+
+    def test_edges_real(self, house):
+        trace = DistributedFrontierSampler(3).sample(house, 150, rng=1)
+        for u, v in trace.edges:
+            assert house.has_edge(u, v)
+
+    def test_per_walker_paths(self, house):
+        trace = DistributedFrontierSampler(4).sample(house, 150, rng=2)
+        for seed, edges in zip(trace.initial_vertices, trace.per_walker):
+            if not edges:
+                continue
+            assert edges[0][0] == seed
+            for (u1, v1), (u2, _) in zip(edges, edges[1:]):
+                assert v1 == u2
+
+    def test_deterministic(self, house):
+        a = DistributedFrontierSampler(3).sample(house, 90, rng=5)
+        b = DistributedFrontierSampler(3).sample(house, 90, rng=5)
+        assert a.edges == b.edges
+
+
+class TestEquivalenceWithFS:
+    """Theorem 5.5: DFS's embedded jump chain is the FS chain, so the
+    two samplers must agree *in distribution*."""
+
+    def test_stationary_edge_law_uniform(self, paw):
+        sampler = DistributedFrontierSampler(3, seeding="stationary")
+        trace = sampler.sample(paw, 60_000, rng=3)
+        counts = Counter(trace.edges)
+        expected = 1.0 / paw.volume()
+        for edge, count in counts.items():
+            assert count / trace.num_steps == pytest.approx(expected, rel=0.15)
+
+    def test_walker_move_rates_match_fs(self):
+        """In a frozen-degree configuration, walker i jumps with
+        long-run frequency deg(v_i)/sum(deg) under both samplers."""
+        # Two disjoint stars: the walkers' degrees alternate between
+        # hub degree and 1, but the *pair* of components keeps total
+        # rate structure comparable across many steps.
+        graph = Graph(14)
+        for leaf in range(1, 7):
+            graph.add_edge(0, leaf)  # hub 0, degree 6
+        for leaf in range(8, 14):
+            graph.add_edge(7, leaf)  # hub 7, degree 6
+        steps = 30_000
+        fs_trace = FrontierSampler(2).sample_from(
+            graph, [0, 7], steps, rng=11
+        )
+        dfs = DistributedFrontierSampler(2)
+        seeds = [0, 7]
+        import random as _random
+
+        dfs_edges, dfs_per_walker, _ = dfs._run(
+            graph, seeds, steps, _random.Random(12)
+        )
+        fs_share = len(fs_trace.per_walker[0]) / steps
+        dfs_share = len(dfs_per_walker[0]) / steps
+        assert fs_share == pytest.approx(0.5, abs=0.03)
+        assert dfs_share == pytest.approx(0.5, abs=0.03)
+
+    def test_visit_distribution_matches_fs(self, paw):
+        """Long-run vertex visit frequencies agree between FS and DFS."""
+        steps = 40_000
+        fs = FrontierSampler(2, seeding="stationary").sample(
+            paw, steps, rng=21
+        )
+        dfs = DistributedFrontierSampler(2, seeding="stationary").sample(
+            paw, steps, rng=22
+        )
+        fs_counts = Counter(v for _, v in fs.edges)
+        dfs_counts = Counter(v for _, v in dfs.edges)
+        for v in paw.vertices():
+            assert fs_counts[v] / fs.num_steps == pytest.approx(
+                dfs_counts[v] / dfs.num_steps, abs=0.02
+            )

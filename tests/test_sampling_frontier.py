@@ -1,0 +1,169 @@
+"""Tests for FrontierSampler — Algorithm 1's invariants."""
+
+import random
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.generators.classic import complete_graph, cycle_graph
+from repro.graph.graph import Graph
+from repro.sampling.frontier import FrontierSampler
+
+
+class TestValidation:
+    def test_dimension_positive(self):
+        with pytest.raises(ValueError):
+            FrontierSampler(0)
+
+    def test_bad_seeding(self):
+        with pytest.raises(ValueError):
+            FrontierSampler(2, seeding="nope")
+
+    def test_bad_walker_selection(self):
+        with pytest.raises(ValueError):
+            FrontierSampler(2, walker_selection="random")
+
+    def test_negative_seed_cost(self):
+        with pytest.raises(ValueError):
+            FrontierSampler(2, seed_cost=-1)
+
+    def test_sample_from_wrong_seed_count(self, house):
+        with pytest.raises(ValueError):
+            FrontierSampler(3).sample_from(house, [0, 1], 10, rng=0)
+
+    def test_isolated_seed_rejected(self):
+        graph = Graph(3)
+        graph.add_edge(0, 1)
+        with pytest.raises(ValueError):
+            FrontierSampler(2).sample_from(graph, [0, 2], 5, rng=0)
+
+
+class TestAlgorithmOne:
+    def test_budget_accounting(self, house):
+        trace = FrontierSampler(5).sample(house, 100, rng=0)
+        assert trace.num_steps == 95  # B - m*c
+        assert trace.spent() == 100
+
+    def test_seed_cost_reduces_steps(self, house):
+        trace = FrontierSampler(5, seed_cost=4.0).sample(house, 100, rng=0)
+        assert trace.num_steps == 80
+
+    def test_edges_are_real(self, house):
+        trace = FrontierSampler(3).sample(house, 200, rng=1)
+        for u, v in trace.edges:
+            assert house.has_edge(u, v)
+
+    def test_per_walker_paths_consistent(self, house):
+        """Each walker's sub-trace is itself a contiguous walk starting
+        at its seed (line 6 replaces u by v in L)."""
+        trace = FrontierSampler(4).sample(house, 150, rng=2)
+        for seed, edges in zip(trace.initial_vertices, trace.per_walker):
+            if not edges:
+                continue
+            assert edges[0][0] == seed
+            for (u1, v1), (u2, _) in zip(edges, edges[1:]):
+                assert v1 == u2
+
+    def test_per_walker_partition(self, house):
+        trace = FrontierSampler(4).sample(house, 150, rng=3)
+        flat = [e for edges in trace.per_walker for e in edges]
+        assert Counter(flat) == Counter(trace.edges)
+
+    def test_deterministic(self, house):
+        a = FrontierSampler(3).sample(house, 90, rng=13)
+        b = FrontierSampler(3).sample(house, 90, rng=13)
+        assert a.edges == b.edges
+        assert a.initial_vertices == b.initial_vertices
+
+    def test_dimension_one_is_single_walk(self, house):
+        """FS with m=1 degenerates to a plain random walk."""
+        trace = FrontierSampler(1).sample(house, 100, rng=4)
+        for (u1, v1), (u2, _) in zip(trace.edges, trace.edges[1:]):
+            assert v1 == u2
+
+
+class TestStationaryBehaviour:
+    def test_uniform_edge_sampling_in_steady_state(self, paw):
+        """Theorem 5.2(I): in steady state FS samples directed edges
+        uniformly.  Start from stationary seeds and run long."""
+        sampler = FrontierSampler(3, seeding="stationary")
+        trace = sampler.sample(paw, 60_000, rng=5)
+        counts = Counter(trace.edges)
+        expected = 1.0 / paw.volume()
+        assert len(counts) == paw.volume()
+        for edge, count in counts.items():
+            assert count / trace.num_steps == pytest.approx(
+                expected, rel=0.15
+            )
+
+    def test_covers_disconnected_components(self, two_triangles):
+        trace = FrontierSampler(20).sample(two_triangles, 400, rng=6)
+        visited = {v for _, v in trace.edges}
+        assert visited & set(range(3))
+        assert visited & set(range(3, 6))
+
+    def test_walker_selection_degree_proportional(self):
+        """On a star + far clique frontier, the high-degree walker moves
+        much more often — line 4 of Algorithm 1."""
+        graph = Graph(12)
+        # hub 0 with 9 leaves (degree 9); plus an edge (10, 11)
+        for leaf in range(1, 10):
+            graph.add_edge(0, leaf)
+        graph.add_edge(10, 11)
+        sampler = FrontierSampler(2)
+        trace = sampler.sample_from(graph, [0, 10], 4000, rng=7)
+        hub_moves = len(trace.per_walker[0])
+        lone_moves = len(trace.per_walker[1])
+        # The star walker alternates between hub (weight 9) and leaf
+        # (weight 1) positions while the lone walker's weight is pinned
+        # at 1, so the star walker must win clearly more than half the
+        # moves — impossible under uniform walker selection.
+        assert hub_moves > 1.5 * lone_moves
+
+    def test_uniform_walker_selection_differs(self):
+        """The ablation mode picks walkers uniformly, so the move split
+        becomes even — showing degree-proportional choice matters."""
+        graph = Graph(12)
+        for leaf in range(1, 10):
+            graph.add_edge(0, leaf)
+        graph.add_edge(10, 11)
+        sampler = FrontierSampler(2, walker_selection="uniform")
+        trace = sampler.sample_from(graph, [0, 10], 4000, rng=8)
+        hub_moves = len(trace.per_walker[0])
+        assert hub_moves / trace.num_steps == pytest.approx(0.5, abs=0.05)
+
+
+@given(
+    m=st.integers(min_value=1, max_value=8),
+    budget=st.integers(min_value=10, max_value=300),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+@settings(max_examples=60, deadline=None)
+def test_fs_budget_invariants(m, budget, seed):
+    graph = cycle_graph(9)
+    trace = FrontierSampler(m).sample(graph, budget, rng=seed)
+    assert trace.num_steps == max(0, budget - m)
+    assert len(trace.initial_vertices) == m
+    for u, v in trace.edges:
+        assert graph.has_edge(u, v)
+
+
+@given(
+    m=st.integers(min_value=1, max_value=6),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+@settings(max_examples=40, deadline=None)
+def test_fs_frontier_positions_consistent(m, seed):
+    """Replaying the per-walker traces recovers each walker's final
+    position; the multiset of final positions is the final frontier."""
+    graph = complete_graph(5)
+    sampler = FrontierSampler(m)
+    trace = sampler.sample_from(
+        graph, [i % 5 for i in range(m)], 100, rng=seed
+    )
+    finals = []
+    for seed_vertex, edges in zip(trace.initial_vertices, trace.per_walker):
+        finals.append(edges[-1][1] if edges else seed_vertex)
+    assert len(finals) == m

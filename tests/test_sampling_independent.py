@@ -1,0 +1,87 @@
+"""Tests for random vertex and random edge sampling."""
+
+from collections import Counter
+
+import pytest
+
+from repro.graph.graph import Graph
+from repro.sampling.independent import RandomEdgeSampler, RandomVertexSampler
+
+
+class TestRandomVertexSampler:
+    def test_hit_ratio_validation(self):
+        with pytest.raises(ValueError):
+            RandomVertexSampler(hit_ratio=0.0)
+        with pytest.raises(ValueError):
+            RandomVertexSampler(hit_ratio=1.2)
+
+    def test_full_hit_ratio_sample_count(self, house):
+        trace = RandomVertexSampler().sample(house, 500, rng=0)
+        assert trace.num_samples == 500
+
+    def test_partial_hit_ratio_mean(self, house):
+        trace = RandomVertexSampler(hit_ratio=0.2).sample(house, 5000, rng=1)
+        assert trace.num_samples == pytest.approx(1000, abs=120)
+        assert trace.cost_per_sample == pytest.approx(5.0)
+
+    def test_uniform_over_all_vertices(self, paw):
+        trace = RandomVertexSampler().sample(paw, 20_000, rng=2)
+        counts = Counter(trace.vertices)
+        for v in paw.vertices():
+            assert counts[v] / trace.num_samples == pytest.approx(
+                0.25, abs=0.02
+            )
+
+    def test_includes_isolated_vertices(self):
+        """Random id probing hits *all* valid ids, including degree-0
+        vertices (unlike walker seeding)."""
+        graph = Graph(3)
+        graph.add_edge(0, 1)
+        trace = RandomVertexSampler().sample(graph, 3000, rng=3)
+        assert 2 in trace.vertices
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(ValueError):
+            RandomVertexSampler().sample(Graph(), 10, rng=0)
+
+    def test_deterministic(self, house):
+        a = RandomVertexSampler(0.5).sample(house, 100, rng=7)
+        b = RandomVertexSampler(0.5).sample(house, 100, rng=7)
+        assert a.vertices == b.vertices
+
+
+class TestRandomEdgeSampler:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RandomEdgeSampler(hit_ratio=0.0)
+        with pytest.raises(ValueError):
+            RandomEdgeSampler(cost_per_edge=0.0)
+
+    def test_cost_per_edge_accounting(self, house):
+        trace = RandomEdgeSampler(cost_per_edge=2.0).sample(house, 100, rng=0)
+        assert trace.num_steps == 50
+
+    def test_hit_ratio_thins_samples(self, house):
+        trace = RandomEdgeSampler(hit_ratio=0.1, cost_per_edge=2.0).sample(
+            house, 20_000, rng=1
+        )
+        assert trace.num_steps == pytest.approx(1000, abs=150)
+
+    def test_uniform_over_orientations(self, paw):
+        trace = RandomEdgeSampler().sample(paw, 60_000, rng=2)
+        counts = Counter(trace.edges)
+        expected = 1.0 / paw.volume()
+        assert len(counts) == paw.volume()
+        for edge, count in counts.items():
+            assert count / trace.num_steps == pytest.approx(
+                expected, rel=0.15
+            )
+
+    def test_no_edges_rejected(self):
+        with pytest.raises(ValueError):
+            RandomEdgeSampler().sample(Graph(3), 10, rng=0)
+
+    def test_deterministic(self, house):
+        a = RandomEdgeSampler().sample(house, 60, rng=8)
+        b = RandomEdgeSampler().sample(house, 60, rng=8)
+        assert a.edges == b.edges

@@ -1,0 +1,57 @@
+"""Tests for the Metropolis–Hastings walk baseline."""
+
+from collections import Counter
+
+import pytest
+
+from repro.sampling.metropolis import MetropolisHastingsWalk
+
+
+class TestValidation:
+    def test_bad_seeding(self):
+        with pytest.raises(ValueError):
+            MetropolisHastingsWalk(seeding="nope")
+
+    def test_negative_seed_cost(self):
+        with pytest.raises(ValueError):
+            MetropolisHastingsWalk(seed_cost=-2)
+
+
+class TestMechanics:
+    def test_visited_length_is_steps(self, house):
+        trace = MetropolisHastingsWalk().sample(house, 100, rng=0)
+        assert len(trace.visited) == 99
+
+    def test_accepted_edges_subset_of_steps(self, house):
+        trace = MetropolisHastingsWalk().sample(house, 100, rng=1)
+        assert len(trace.edges) <= len(trace.visited)
+
+    def test_edges_are_real(self, house):
+        trace = MetropolisHastingsWalk().sample(house, 300, rng=2)
+        for u, v in trace.edges:
+            assert house.has_edge(u, v)
+
+    def test_deterministic(self, house):
+        a = MetropolisHastingsWalk().sample(house, 80, rng=9)
+        b = MetropolisHastingsWalk().sample(house, 80, rng=9)
+        assert a.visited == b.visited
+
+
+class TestUniformTarget:
+    def test_uniform_vertex_visits(self, paw):
+        """MH targets the uniform law: long-run visit frequencies are
+        1/|V| even though degrees differ (the whole point of MRW)."""
+        trace = MetropolisHastingsWalk(seeding="stationary").sample(
+            paw, 80_000, rng=3
+        )
+        counts = Counter(trace.visited)
+        n = paw.num_vertices
+        for v in paw.vertices():
+            assert counts[v] / len(trace.visited) == pytest.approx(
+                1.0 / n, rel=0.1
+            )
+
+    def test_regular_graph_never_rejects(self, triangle):
+        """On a regular graph the acceptance ratio is always 1."""
+        trace = MetropolisHastingsWalk().sample(triangle, 500, rng=4)
+        assert len(trace.edges) == len(trace.visited)

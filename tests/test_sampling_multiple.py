@@ -1,0 +1,84 @@
+"""Tests for MultipleRandomWalk."""
+
+from collections import Counter
+
+import pytest
+
+from repro.sampling.multiple import MultipleRandomWalk
+
+
+class TestValidation:
+    def test_zero_walkers_rejected(self):
+        with pytest.raises(ValueError):
+            MultipleRandomWalk(0)
+
+    def test_bad_seeding_rejected(self):
+        with pytest.raises(ValueError):
+            MultipleRandomWalk(2, seeding="nope")
+
+    def test_negative_seed_cost_rejected(self):
+        with pytest.raises(ValueError):
+            MultipleRandomWalk(2, seed_cost=-0.5)
+
+
+class TestBudgetSplit:
+    def test_steps_per_walker(self):
+        sampler = MultipleRandomWalk(10, seed_cost=1.0)
+        # Section 4.4: floor(B/m - c)
+        assert sampler.steps_per_walker(1000) == 99
+
+    def test_steps_floor_at_zero(self):
+        sampler = MultipleRandomWalk(10, seed_cost=5.0)
+        assert sampler.steps_per_walker(40) == 0
+
+    def test_total_steps(self, house):
+        sampler = MultipleRandomWalk(4)
+        trace = sampler.sample(house, 100, rng=0)
+        assert trace.num_steps == 4 * 24
+
+    def test_per_walker_structure(self, house):
+        sampler = MultipleRandomWalk(3)
+        trace = sampler.sample(house, 60, rng=1)
+        assert trace.per_walker is not None
+        assert len(trace.per_walker) == 3
+        assert all(len(edges) == 19 for edges in trace.per_walker)
+        flat = [e for edges in trace.per_walker for e in edges]
+        assert Counter(flat) == Counter(trace.edges)
+
+
+class TestIndependence:
+    def test_walkers_start_at_seeds(self, house):
+        sampler = MultipleRandomWalk(5)
+        trace = sampler.sample(house, 100, rng=2)
+        for seed, edges in zip(trace.initial_vertices, trace.per_walker):
+            assert edges[0][0] == seed
+
+    def test_each_walker_is_a_path(self, house):
+        trace = MultipleRandomWalk(4).sample(house, 200, rng=3)
+        for edges in trace.per_walker:
+            for (u1, v1), (u2, _) in zip(edges, edges[1:]):
+                assert v1 == u2
+
+    def test_walkers_cover_disconnected_components(self, two_triangles):
+        """With enough uniformly seeded walkers, both components get
+        sampled — unlike a single walker."""
+        trace = MultipleRandomWalk(20).sample(two_triangles, 200, rng=4)
+        visited = {v for _, v in trace.edges}
+        assert visited & set(range(3))
+        assert visited & set(range(3, 6))
+
+    def test_deterministic(self, house):
+        a = MultipleRandomWalk(3).sample(house, 80, rng=11)
+        b = MultipleRandomWalk(3).sample(house, 80, rng=11)
+        assert a.edges == b.edges
+
+    def test_stationary_seeding_mode(self, paw):
+        trace = MultipleRandomWalk(500, seeding="stationary").sample(
+            paw, 1500, rng=5
+        )
+        counts = Counter(trace.initial_vertices)
+        volume = paw.volume()
+        for v in paw.vertices():
+            assert counts[v] / 500 == pytest.approx(
+                paw.degree(v) / volume, abs=0.06
+            )

@@ -1,0 +1,90 @@
+"""Tests for SingleRandomWalk."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.graph.graph import Graph
+from repro.sampling.single import SingleRandomWalk, random_walk
+
+
+class TestRandomWalkFunction:
+    def test_walk_length(self, house, rng):
+        edges = random_walk(house, 0, 50, rng)
+        assert len(edges) == 50
+
+    def test_walk_is_connected_path(self, house, rng):
+        edges = random_walk(house, 0, 30, rng)
+        assert edges[0][0] == 0
+        for (u1, v1), (u2, _) in zip(edges, edges[1:]):
+            assert v1 == u2
+
+    def test_walk_uses_real_edges(self, house, rng):
+        for u, v in random_walk(house, 0, 100, rng):
+            assert house.has_edge(u, v)
+
+    def test_isolated_start_rejected(self, rng):
+        graph = Graph(2)
+        graph.add_edge(0, 1)
+        graph.add_vertex()
+        with pytest.raises(ValueError):
+            random_walk(graph, 2, 5, rng)
+
+    def test_zero_steps(self, house, rng):
+        assert random_walk(house, 0, 0, rng) == []
+
+
+class TestSingleRandomWalk:
+    def test_budget_accounting(self, house):
+        trace = SingleRandomWalk().sample(house, 100, rng=0)
+        assert trace.num_steps == 99  # one seed, unit cost
+        assert trace.spent() == 100
+
+    def test_invalid_seeding_rejected(self):
+        with pytest.raises(ValueError):
+            SingleRandomWalk(seeding="banana")
+
+    def test_negative_seed_cost_rejected(self):
+        with pytest.raises(ValueError):
+            SingleRandomWalk(seed_cost=-1)
+
+    def test_stays_in_component(self, two_triangles):
+        trace = SingleRandomWalk().sample(two_triangles, 200, rng=1)
+        start = trace.initial_vertices[0]
+        component = set(range(3)) if start < 3 else set(range(3, 6))
+        assert all(v in component for _, v in trace.edges)
+
+    def test_deterministic_given_seed(self, house):
+        a = SingleRandomWalk().sample(house, 50, rng=7)
+        b = SingleRandomWalk().sample(house, 50, rng=7)
+        assert a.edges == b.edges
+
+    def test_stationary_edge_law(self, paw):
+        """A long stationary walk samples each directed edge with
+        probability 1/vol(V) (Section 4's key property)."""
+        trace = SingleRandomWalk(seeding="stationary").sample(
+            paw, 60_000, rng=3
+        )
+        counts = Counter(trace.edges)
+        expected = 1.0 / paw.volume()
+        for edge, count in counts.items():
+            assert count / trace.num_steps == pytest.approx(
+                expected, rel=0.15
+            )
+        assert len(counts) == paw.volume()  # every orientation seen
+
+    def test_vertex_visits_degree_proportional(self, paw):
+        trace = SingleRandomWalk(seeding="stationary").sample(
+            paw, 60_000, rng=4
+        )
+        counts = Counter(v for _, v in trace.edges)
+        volume = paw.volume()
+        for v in paw.vertices():
+            assert counts[v] / trace.num_steps == pytest.approx(
+                paw.degree(v) / volume, rel=0.1
+            )
+
+    def test_repr(self):
+        text = repr(SingleRandomWalk(seeding="stationary", seed_cost=2.0))
+        assert "stationary" in text

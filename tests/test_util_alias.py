@@ -1,0 +1,88 @@
+"""Tests for the alias table."""
+
+import random
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.alias import AliasTable
+
+
+class TestValidation:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            AliasTable([])
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            AliasTable([1.0, -0.5])
+
+    def test_all_zero_rejected(self):
+        with pytest.raises(ValueError):
+            AliasTable([0.0, 0.0])
+
+    def test_negative_count_rejected(self):
+        table = AliasTable([1.0])
+        with pytest.raises(ValueError):
+            table.sample_many(random.Random(0), -1)
+
+
+class TestSampling:
+    def test_single_outcome(self):
+        table = AliasTable([3.0])
+        rng = random.Random(0)
+        assert all(table.sample(rng) == 0 for _ in range(50))
+
+    def test_len(self):
+        assert len(AliasTable([1.0, 2.0, 3.0])) == 3
+
+    def test_zero_weight_never_sampled(self):
+        table = AliasTable([0.0, 1.0, 0.0])
+        rng = random.Random(1)
+        assert all(table.sample(rng) == 1 for _ in range(200))
+
+    def test_uniform_weights(self):
+        table = AliasTable([1.0] * 4)
+        rng = random.Random(2)
+        counts = Counter(table.sample_many(rng, 12000))
+        for outcome in range(4):
+            assert counts[outcome] / 12000 == pytest.approx(0.25, abs=0.02)
+
+    def test_proportionality(self):
+        table = AliasTable([1.0, 2.0, 7.0])
+        rng = random.Random(3)
+        counts = Counter(table.sample_many(rng, 20000))
+        assert counts[2] / 20000 == pytest.approx(0.7, abs=0.02)
+        assert counts[1] / 20000 == pytest.approx(0.2, abs=0.02)
+
+    def test_unnormalized_weights_equivalent(self):
+        rng_a = random.Random(4)
+        rng_b = random.Random(4)
+        a = AliasTable([1.0, 3.0])
+        b = AliasTable([10.0, 30.0])
+        assert a.sample_many(rng_a, 100) == b.sample_many(rng_b, 100)
+
+    def test_sample_many_length(self):
+        table = AliasTable([1.0, 1.0])
+        assert len(table.sample_many(random.Random(5), 17)) == 17
+
+
+@given(
+    weights=st.lists(
+        st.floats(min_value=0.0, max_value=50.0, allow_nan=False),
+        min_size=1,
+        max_size=20,
+    ).filter(lambda ws: sum(ws) > 0)
+)
+@settings(max_examples=50)
+def test_empirical_matches_weights(weights):
+    table = AliasTable(weights)
+    rng = random.Random(99)
+    n = 4000
+    counts = Counter(table.sample_many(rng, n))
+    total = sum(weights)
+    for outcome, weight in enumerate(weights):
+        expected = weight / total
+        assert counts[outcome] / n == pytest.approx(expected, abs=0.06)

@@ -1,0 +1,187 @@
+"""Tests for the Fenwick tree, including hypothesis properties."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.fenwick import FenwickTree, fenwick_from_iterable
+
+
+class TestBasics:
+    def test_empty(self):
+        tree = FenwickTree(size=0)
+        assert len(tree) == 0
+        assert tree.total() == 0.0
+
+    def test_construction_from_weights(self):
+        tree = FenwickTree([1.0, 2.0, 3.0])
+        assert tree.total() == pytest.approx(6.0)
+        assert tree.weight(1) == 2.0
+
+    def test_from_iterable(self):
+        tree = fenwick_from_iterable(w for w in (1.0, 1.0))
+        assert tree.total() == pytest.approx(2.0)
+
+    def test_update_changes_total(self):
+        tree = FenwickTree([1.0, 2.0, 3.0])
+        tree.update(0, 5.0)
+        assert tree.total() == pytest.approx(10.0)
+        assert tree.weight(0) == 5.0
+
+    def test_add(self):
+        tree = FenwickTree([1.0, 2.0])
+        tree.add(1, 0.5)
+        assert tree.weight(1) == pytest.approx(2.5)
+
+    def test_prefix_sums(self):
+        tree = FenwickTree([1.0, 2.0, 3.0, 4.0])
+        assert tree.prefix_sum(0) == 0.0
+        assert tree.prefix_sum(2) == pytest.approx(3.0)
+        assert tree.prefix_sum(4) == pytest.approx(10.0)
+
+    def test_weights_copy(self):
+        tree = FenwickTree([1.0, 2.0])
+        weights = tree.weights()
+        weights[0] = 99.0
+        assert tree.weight(0) == 1.0
+
+
+class TestValidation:
+    def test_negative_weight_rejected(self):
+        tree = FenwickTree([1.0])
+        with pytest.raises(ValueError):
+            tree.update(0, -1.0)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            FenwickTree(size=-1)
+
+    def test_index_out_of_range(self):
+        tree = FenwickTree([1.0])
+        with pytest.raises(IndexError):
+            tree.weight(1)
+        with pytest.raises(IndexError):
+            tree.update(-1, 1.0)
+
+    def test_prefix_sum_range(self):
+        tree = FenwickTree([1.0])
+        with pytest.raises(IndexError):
+            tree.prefix_sum(2)
+
+    def test_find_above_total_rejected(self):
+        tree = FenwickTree([1.0, 1.0])
+        with pytest.raises(ValueError):
+            tree.find(2.0)
+
+    def test_find_negative_rejected(self):
+        tree = FenwickTree([1.0])
+        with pytest.raises(ValueError):
+            tree.find(-0.1)
+
+    def test_sample_all_zero_rejected(self):
+        tree = FenwickTree([0.0, 0.0])
+        with pytest.raises(ValueError):
+            tree.sample(random.Random(0))
+
+
+class TestFind:
+    def test_find_boundaries(self):
+        tree = FenwickTree([1.0, 2.0, 3.0])
+        assert tree.find(0.0) == 0
+        assert tree.find(0.999) == 0
+        assert tree.find(1.0) == 1
+        assert tree.find(2.999) == 1
+        assert tree.find(3.0) == 2
+        assert tree.find(5.999) == 2
+
+    def test_find_skips_zero_weights(self):
+        tree = FenwickTree([0.0, 1.0, 0.0, 2.0])
+        assert tree.find(0.0) == 1
+        assert tree.find(1.5) == 3
+
+
+class TestSampling:
+    def test_sampling_proportional(self):
+        tree = FenwickTree([1.0, 3.0])
+        rng = random.Random(7)
+        draws = [tree.sample(rng) for _ in range(8000)]
+        fraction = draws.count(1) / len(draws)
+        assert fraction == pytest.approx(0.75, abs=0.03)
+
+    def test_sampling_after_update(self):
+        tree = FenwickTree([1.0, 1.0])
+        tree.update(0, 0.0)
+        rng = random.Random(3)
+        assert all(tree.sample(rng) == 1 for _ in range(100))
+
+
+@given(
+    weights=st.lists(
+        st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+        min_size=1,
+        max_size=50,
+    )
+)
+@settings(max_examples=100)
+def test_prefix_sums_match_naive(weights):
+    tree = FenwickTree(weights)
+    acc = 0.0
+    for count in range(len(weights) + 1):
+        assert tree.prefix_sum(count) == pytest.approx(acc, abs=1e-9)
+        if count < len(weights):
+            acc += weights[count]
+
+
+@given(
+    weights=st.lists(
+        st.floats(min_value=0.01, max_value=100.0, allow_nan=False),
+        min_size=1,
+        max_size=30,
+    ),
+    fractions=st.lists(
+        st.floats(min_value=0.0, max_value=0.999999), min_size=1, max_size=10
+    ),
+)
+@settings(max_examples=100)
+def test_find_matches_linear_scan(weights, fractions):
+    tree = FenwickTree(weights)
+    total = sum(weights)
+    for fraction in fractions:
+        target = fraction * total
+        if target >= tree.total():
+            continue
+        expected = 0
+        acc = weights[0]
+        while acc <= target:
+            expected += 1
+            acc += weights[expected]
+        assert tree.find(target) == expected
+
+
+@given(
+    initial=st.lists(
+        st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+        min_size=2,
+        max_size=20,
+    ),
+    updates=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=19),
+            st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+        ),
+        max_size=20,
+    ),
+)
+@settings(max_examples=100)
+def test_updates_keep_totals_consistent(initial, updates):
+    tree = FenwickTree(initial)
+    mirror = list(initial)
+    for index, weight in updates:
+        if index >= len(mirror):
+            continue
+        tree.update(index, weight)
+        mirror[index] = weight
+    assert tree.total() == pytest.approx(sum(mirror), abs=1e-9)
+    assert tree.weights() == pytest.approx(mirror)

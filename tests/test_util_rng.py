@@ -1,0 +1,75 @@
+"""Tests for repro.util.rng."""
+
+import random
+
+import pytest
+
+from repro.util.rng import child_rng, ensure_rng, spawn_rngs
+
+
+class TestEnsureRng:
+    def test_none_returns_random_instance(self):
+        assert isinstance(ensure_rng(None), random.Random)
+
+    def test_int_seed_is_deterministic(self):
+        a = ensure_rng(42)
+        b = ensure_rng(42)
+        assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+    def test_different_seeds_differ(self):
+        a = ensure_rng(1)
+        b = ensure_rng(2)
+        assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+    def test_existing_rng_passes_through(self):
+        source = random.Random(7)
+        assert ensure_rng(source) is source
+
+    def test_bool_rejected(self):
+        with pytest.raises(TypeError):
+            ensure_rng(True)
+
+    def test_other_types_rejected(self):
+        with pytest.raises(TypeError):
+            ensure_rng("seed")
+
+
+class TestChildRng:
+    def test_reproducible(self):
+        a = child_rng(99, 3)
+        b = child_rng(99, 3)
+        assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+    def test_children_distinct(self):
+        streams = [
+            tuple(child_rng(0, i).random() for _ in range(3))
+            for i in range(20)
+        ]
+        assert len(set(streams)) == 20
+
+    def test_children_distinct_across_roots(self):
+        a = child_rng(0, 0)
+        b = child_rng(1, 0)
+        assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            child_rng(0, -1)
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(5, 7)) == 7
+
+    def test_zero_count(self):
+        assert spawn_rngs(5, 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(5, -1)
+
+    def test_matches_child_rng(self):
+        spawned = spawn_rngs(11, 3)
+        direct = [child_rng(11, i) for i in range(3)]
+        for s, d in zip(spawned, direct):
+            assert s.random() == d.random()
