@@ -16,7 +16,7 @@ imbalance, quantifying the paper's argument before any simulation.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import List, Tuple
 
 from repro.graph.components import connected_components
 from repro.graph.graph import Graph

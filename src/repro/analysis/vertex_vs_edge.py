@@ -16,7 +16,7 @@ experiment verifies empirically.
 from __future__ import annotations
 
 import math
-from typing import Callable, Dict, Mapping, Optional, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 from repro.graph.graph import Graph
 from repro.metrics.exact import true_degree_pmf

@@ -16,7 +16,7 @@ tests use scale ~0.1.  Structural targets, per original dataset:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional
 
 from repro.generators.ba import barabasi_albert
@@ -26,8 +26,10 @@ from repro.generators.configuration import (
     power_law_degree_sequence,
 )
 from repro.generators.social import SocialGraphSpec, social_network
+from repro.graph.csr import CSRGraph, get_csr
 from repro.graph.digraph import DiGraph
 from repro.graph.graph import Graph
+from repro.util.backends import check_backend_name
 from repro.graph.labels import VertexLabeling
 from repro.graph.summary import GraphSummary, summarize
 from repro.util.rng import ensure_rng
@@ -42,10 +44,26 @@ class Dataset:
     digraph: Optional[DiGraph]
     labels: VertexLabeling
     description: str
+    #: CSR view of ``graph``; populated when loaded with
+    #: ``backend="csr"`` (or on first ``sampling_graph("csr")`` call).
+    csr: Optional[CSRGraph] = field(default=None, repr=False)
 
     def summary(self) -> GraphSummary:
         """Table 1 row for this dataset (symmetric-graph statistics)."""
         return summarize(self.graph, name=self.name)
+
+    def sampling_graph(self, backend: str = "list"):
+        """The graph representation samplers should walk.
+
+        ``"csr"`` converts on demand through :func:`get_csr`, whose
+        cache is tagged with the graph's mutation counter — repeated
+        calls are free and a mutated graph is re-converted rather than
+        served stale.
+        """
+        if check_backend_name(backend) == "list":
+            return self.graph
+        self.csr = get_csr(self.graph)
+        return self.csr
 
     def in_degree_of(self, vertex: int) -> int:
         """In-degree label (directed datasets; falls back to degree)."""
@@ -256,18 +274,31 @@ DATASET_BUILDERS: Dict[str, DatasetBuilder] = {
 }
 
 
-def load(name: str, scale: float = 1.0, seed: Optional[int] = None) -> Dataset:
+def load(
+    name: str,
+    scale: float = 1.0,
+    seed: Optional[int] = None,
+    backend: str = "list",
+) -> Dataset:
     """Build a dataset by registry name.
 
     ``seed`` overrides the builder's fixed default, which otherwise
     makes every load of the same ``(name, scale)`` identical.
+    ``backend="csr"`` eagerly attaches the CSR view (one conversion,
+    shared by every sampler run against the dataset).
     """
     if name not in DATASET_BUILDERS:
         raise KeyError(
             f"unknown dataset {name!r}; available:"
             f" {sorted(DATASET_BUILDERS)}"
         )
+    check_backend_name(backend)
     builder = DATASET_BUILDERS[name]
-    if seed is None:
-        return builder(scale=scale)
-    return builder(scale=scale, seed=seed)
+    dataset = (
+        builder(scale=scale)
+        if seed is None
+        else builder(scale=scale, seed=seed)
+    )
+    if backend == "csr":
+        dataset.sampling_graph("csr")
+    return dataset

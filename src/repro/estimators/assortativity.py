@@ -22,7 +22,7 @@ from typing import Iterable, Tuple
 
 from repro.graph.digraph import DiGraph
 from repro.graph.graph import Graph
-from repro.sampling.base import Edge, WalkTrace
+from repro.sampling.base import WalkTrace
 
 
 def _pearson_from_pairs(pairs: Iterable[Tuple[float, float]]) -> float:

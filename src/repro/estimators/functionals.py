@@ -16,7 +16,7 @@ from __future__ import annotations
 from typing import Callable, Optional, Tuple
 
 from repro.graph.graph import Graph
-from repro.sampling.base import Edge, WalkTrace
+from repro.sampling.base import WalkTrace
 
 EdgeFunction = Callable[[int, int], float]
 EdgePredicate = Callable[[int, int], bool]

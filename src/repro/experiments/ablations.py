@@ -21,10 +21,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Sequence
 
 from repro.datasets.registry import flickr_like, gab
-from repro.experiments.degree_errors import (
-    DegreeErrorResult,
-    degree_error_experiment,
-)
+from repro.experiments.degree_errors import degree_error_experiment
 from repro.experiments.render import format_float, render_table
 from repro.estimators.degree import (
     degree_pmf_from_trace,
@@ -162,7 +159,7 @@ def metropolis_vs_rw(
             rw_estimates[k].append(rw_pmf.get(k, 0.0))
             mh_estimates[k].append(mh_pmf.get(k, 0.0))
     sweep = SweepResult(
-        title=f"RW (eq. 7) vs Metropolis-Hastings walk"
+        title="RW (eq. 7) vs Metropolis-Hastings walk"
         f" (flickr-like LCC, B={budget:.0f})"
     )
     sweep.errors["RW + eq.(7)"] = sum(

@@ -4,6 +4,7 @@
     repro-experiments fig5 --scale 0.2 --runs 40
     repro-experiments table2 --runs 50
     repro-experiments all --scale 0.1 --runs 20
+    repro-experiments fig5 --backend csr   # vectorized CSR fast path
 """
 
 from __future__ import annotations
@@ -14,6 +15,7 @@ import time
 from typing import Callable, Dict
 
 from repro.experiments import ablations, figures, tables
+from repro.sampling.base import use_backend
 
 #: experiment id -> (driver, accepts_runs)
 _EXPERIMENTS: Dict[str, Callable] = {
@@ -87,6 +89,13 @@ def main(argv=None) -> int:
         default=100,
         help="Monte Carlo replications (default 100)",
     )
+    parser.add_argument(
+        "--backend",
+        choices=("list", "csr"),
+        default="list",
+        help="sampling backend: 'list' (interpreted, paper-literal"
+        " draw protocol) or 'csr' (vectorized fast path; default list)",
+    )
     args = parser.parse_args(argv)
 
     if args.list:
@@ -101,16 +110,17 @@ def main(argv=None) -> int:
         if args.experiment == "all"
         else [args.experiment]
     )
-    for name in names:
-        if name not in _EXPERIMENTS:
-            print(
-                f"unknown experiment {name!r}; use --list",
-                file=sys.stderr,
-            )
-            return 2
-        started = time.time()
-        print(_run_one(name, args.scale, args.runs))
-        print(f"  [{name} finished in {time.time() - started:.1f}s]\n")
+    with use_backend(args.backend):
+        for name in names:
+            if name not in _EXPERIMENTS:
+                print(
+                    f"unknown experiment {name!r}; use --list",
+                    file=sys.stderr,
+                )
+                return 2
+            started = time.time()
+            print(_run_one(name, args.scale, args.runs))
+            print(f"  [{name} finished in {time.time() - started:.1f}s]\n")
     return 0
 
 

@@ -8,7 +8,6 @@ aggregates per-degree errors against the exact distribution.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional
 
@@ -21,7 +20,7 @@ from repro.estimators.degree import (
 from repro.graph.graph import Graph
 from repro.metrics.errors import nmse_curve
 from repro.metrics.exact import true_degree_ccdf, true_degree_pmf
-from repro.sampling.base import Sampler, VertexTrace, WalkTrace
+from repro.sampling.base import Sampler, VertexTrace
 from repro.util.rng import child_rng
 
 DegreeOf = Callable[[int], int]

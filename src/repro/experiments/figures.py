@@ -13,7 +13,7 @@ drivers at smaller scale.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List
 
 from repro.analysis.vertex_vs_edge import analytic_nmse_curves
 from repro.datasets.registry import Dataset, flickr_like, gab, livejournal_like
@@ -25,7 +25,6 @@ from repro.experiments.degree_errors import (
 from repro.experiments.render import format_float, render_table
 from repro.experiments.samplepaths import SamplePathResult, sample_paths
 from repro.graph.components import largest_connected_component
-from repro.graph.graph import Graph
 from repro.metrics.errors import nmse
 from repro.metrics.exact import (
     true_degree_ccdf,

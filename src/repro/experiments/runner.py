@@ -4,13 +4,19 @@ Experiments are Monte Carlo averages over independent runs.  Each run
 gets a child RNG derived from the experiment's root seed, so any run
 can be reproduced in isolation and adding runs never perturbs earlier
 ones.
+
+Runs can be pinned to a sampling backend (``backend="csr"`` routes
+every sampler constructed without an explicit backend through the
+vectorized CSR engine); the default backend is restored when the
+replication finishes, even on error.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Callable, List, TypeVar
+from typing import Callable, List, Optional, TypeVar
 
+from repro.sampling.base import Backend, use_backend
 from repro.util.rng import child_rng
 
 T = TypeVar("T")
@@ -20,8 +26,16 @@ def replicate(
     run: Callable[[random.Random], T],
     runs: int,
     root_seed: int = 0,
+    backend: Optional[Backend] = None,
 ) -> List[T]:
-    """Execute ``run`` ``runs`` times with independent child RNGs."""
+    """Execute ``run`` ``runs`` times with independent child RNGs.
+
+    ``backend`` (optional) temporarily sets the process-default
+    sampling backend for the duration of the replication.
+    """
     if runs < 1:
         raise ValueError(f"runs must be >= 1, got {runs}")
-    return [run(child_rng(root_seed, index)) for index in range(runs)]
+    if backend is None:
+        return [run(child_rng(root_seed, index)) for index in range(runs)]
+    with use_backend(backend):
+        return [run(child_rng(root_seed, index)) for index in range(runs)]

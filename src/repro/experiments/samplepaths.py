@@ -10,12 +10,11 @@ estimates away from the truth while every FS path converges quickly.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.graph.graph import Graph
-from repro.sampling.base import Edge, WalkTrace, uniform_seeds
+from repro.sampling.base import Edge, uniform_seeds
 from repro.sampling.frontier import FrontierSampler
 from repro.sampling.single import random_walk
 from repro.util.rng import child_rng

@@ -9,8 +9,8 @@ argument).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional
 
 from repro.datasets.registry import (
     Dataset,
@@ -94,7 +94,7 @@ class Table2Result:
                 cells.append(format_float(row.error[m], 2))
             body.append(cells)
         return render_table(
-            f"Table 2 — assortativity estimates"
+            "Table 2 — assortativity estimates"
             f" (B=|V|*{self.budget_fraction}, {self.runs} runs)",
             headers,
             body,
@@ -190,7 +190,7 @@ class Table3Result:
                 cells.append(format_float(row.error[m], 2))
             body.append(cells)
         return render_table(
-            f"Table 3 — global clustering estimates"
+            "Table 3 — global clustering estimates"
             f" (B=|V|*{self.budget_fraction}, {self.runs} runs)",
             headers,
             body,
@@ -267,9 +267,9 @@ class Table4Result:
             for row in self.rows
         ]
         return render_table(
-            f"Table 4 — worst-case transient vs stationary edge sampling"
+            "Table 4 — worst-case transient vs stationary edge sampling"
             f" probability (K={self.num_walkers}, FS via {self.mc_runs}"
-            f" Monte Carlo runs)",
+            " Monte Carlo runs)",
             headers,
             body,
         )

@@ -10,7 +10,7 @@ sizes used here.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 from repro.graph.digraph import DiGraph
 from repro.graph.graph import Graph

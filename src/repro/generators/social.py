@@ -14,7 +14,7 @@ the structural features the evaluation actually exercises:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from repro.generators.configuration import (
@@ -84,7 +84,7 @@ class SocialGraphSpec:
             )
         if not 0.0 <= self.member_fraction <= 1.0:
             raise ValueError(
-                f"member_fraction must be in [0, 1], got"
+                "member_fraction must be in [0, 1], got"
                 f" {self.member_fraction}"
             )
         if self.num_communities < 1:

@@ -22,6 +22,7 @@ from repro.graph.components import (
     is_connected,
     largest_connected_component,
 )
+from repro.graph.csr import CSRGraph, get_csr
 from repro.graph.digraph import DiGraph
 from repro.graph.graph import Graph
 from repro.graph.io import read_edge_list, write_edge_list
@@ -29,11 +30,13 @@ from repro.graph.labels import EdgeLabeling, VertexLabeling
 from repro.graph.summary import GraphSummary, summarize
 
 __all__ = [
+    "CSRGraph",
     "DiGraph",
     "EdgeLabeling",
     "Graph",
     "GraphSummary",
     "VertexLabeling",
+    "get_csr",
     "cartesian_power",
     "connected_components",
     "decode_state",

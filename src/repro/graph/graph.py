@@ -32,6 +32,9 @@ class Graph:
         self._adj: List[List[int]] = [[] for _ in range(num_vertices)]
         self._adj_sets: List[Set[int]] = [set() for _ in range(num_vertices)]
         self._num_edges = 0
+        # Monotone mutation counter; lets derived representations
+        # (e.g. the cached CSR conversion) detect staleness cheaply.
+        self._version = 0
 
     # ------------------------------------------------------------------
     # construction
@@ -59,6 +62,7 @@ class Graph:
         """Append an isolated vertex; returns its id."""
         self._adj.append([])
         self._adj_sets.append(set())
+        self._version += 1
         return len(self._adj) - 1
 
     def add_vertices(self, count: int) -> None:
@@ -85,6 +89,7 @@ class Graph:
         self._adj_sets[u].add(v)
         self._adj_sets[v].add(u)
         self._num_edges += 1
+        self._version += 1
         return True
 
     def remove_edge(self, u: int, v: int) -> bool:
@@ -100,6 +105,7 @@ class Graph:
         self._adj_sets[u].discard(v)
         self._adj_sets[v].discard(u)
         self._num_edges -= 1
+        self._version += 1
         return True
 
     # ------------------------------------------------------------------
@@ -113,6 +119,11 @@ class Graph:
     def num_edges(self) -> int:
         """Number of undirected edges."""
         return self._num_edges
+
+    @property
+    def version(self) -> int:
+        """Mutation counter (bumps on any structural change)."""
+        return self._version
 
     def vertices(self) -> range:
         return range(len(self._adj))

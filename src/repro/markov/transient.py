@@ -15,12 +15,12 @@ uses a Monte Carlo estimate over full trace simulations.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict
 
 from repro.graph.graph import Graph
 from repro.markov.chain import distribution_after, uniform_distribution
 from repro.sampling.base import Edge, Sampler, WalkTrace
-from repro.util.rng import RngLike, child_rng, ensure_rng
+from repro.util.rng import child_rng
 
 
 def single_rw_edge_probabilities(

@@ -17,9 +17,9 @@ precise sense in which uniformly seeded FS "starts in steady state".
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, List, Sequence, Set
+from typing import Iterable, List, Sequence
 
-from repro.graph.cartesian import decode_state, state_degree
+from repro.graph.cartesian import decode_state
 from repro.graph.graph import Graph
 from repro.markov.frontier_chain import frontier_stationary_distribution
 

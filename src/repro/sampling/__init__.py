@@ -22,12 +22,16 @@ Samplers implemented:
 """
 
 from repro.sampling.base import (
+    Backend,
     Sampler,
     SeedingMode,
     VertexTrace,
     WalkTrace,
+    get_default_backend,
+    set_default_backend,
     stationary_seeds,
     uniform_seeds,
+    use_backend,
 )
 from repro.sampling.distributed import DistributedFrontierSampler
 from repro.sampling.frontier import FrontierSampler
@@ -35,8 +39,16 @@ from repro.sampling.independent import RandomEdgeSampler, RandomVertexSampler
 from repro.sampling.metropolis import MetropolisHastingsWalk
 from repro.sampling.multiple import MultipleRandomWalk
 from repro.sampling.single import SingleRandomWalk
+from repro.sampling.vectorized import (
+    ArrayMetropolisTrace,
+    ArrayWalkTrace,
+    batch_walk_positions,
+)
 
 __all__ = [
+    "ArrayMetropolisTrace",
+    "ArrayWalkTrace",
+    "Backend",
     "DistributedFrontierSampler",
     "FrontierSampler",
     "MetropolisHastingsWalk",
@@ -48,6 +60,10 @@ __all__ = [
     "SingleRandomWalk",
     "VertexTrace",
     "WalkTrace",
+    "batch_walk_positions",
+    "get_default_backend",
+    "set_default_backend",
     "stationary_seeds",
     "uniform_seeds",
+    "use_backend",
 ]

@@ -1,0 +1,125 @@
+/* Native walker kernels over CSR arrays.
+ *
+ * Compiled on demand by repro/sampling/_native.py (cc -O2 -shared
+ * -fPIC) and called through ctypes.  Every kernel consumes
+ * pre-drawn uniforms in [0, 1) supplied by the caller, one protocol-
+ * defined draw order per walk type, and does all weight arithmetic in
+ * exact int64 — so the pure-Python fallback in
+ * repro/sampling/vectorized.py reproduces these walks bit for bit.
+ *
+ * The only floating-point operation is the scaling of a uniform into
+ * an integer range, (int64_t)(u * (double)range), which is the same
+ * IEEE-754 double multiply + truncation CPython performs for
+ * int(u * range).  The clamp to range - 1 guards the (probability ~0)
+ * rounding-up of u values adjacent to 1.0.
+ */
+
+#include <stdint.h>
+
+static inline int64_t scale_uniform(double u, int64_t range) {
+    int64_t value = (int64_t)(u * (double)range);
+    return value >= range ? range - 1 : value;
+}
+
+/* Simple random walk: `steps` transitions from `start`.
+ * Draws: one uniform per step. */
+void repro_rw_steps(const int64_t *indptr, const int64_t *indices,
+                    int64_t start, int64_t steps, const double *uniforms,
+                    int64_t *out_u, int64_t *out_v) {
+    int64_t current = start;
+    for (int64_t k = 0; k < steps; k++) {
+        int64_t row = indptr[current];
+        int64_t degree = indptr[current + 1] - row;
+        int64_t next = indices[row + scale_uniform(uniforms[k], degree)];
+        out_u[k] = current;
+        out_v[k] = next;
+        current = next;
+    }
+}
+
+/* m-dimensional Frontier Sampling.
+ *
+ * degree_selection != 0 (Algorithm 1): each step consumes ONE uniform
+ * u, scaled onto the frontier's total degree; the cumulative-weight
+ * search over the frontier degree vector yields both the walker index
+ * and the offset of the crossed edge inside that walker's neighbor
+ * row.  (Picking a uniform point in the concatenated incident-edge
+ * lists IS the degree-proportional walker pick followed by a uniform
+ * neighbor pick.)
+ *
+ * degree_selection == 0 (uniform-walker ablation): two uniforms per
+ * step — walker index, then neighbor offset.
+ *
+ * Returns 0, or -1 if the frontier's total degree is ever <= 0. */
+int64_t repro_fs_steps(const int64_t *indptr, const int64_t *indices,
+                       int64_t *frontier, int64_t m, int64_t steps,
+                       int64_t degree_selection, const double *uniforms,
+                       int64_t *out_u, int64_t *out_v, int64_t *out_idx) {
+    int64_t total = 0;
+    for (int64_t i = 0; i < m; i++)
+        total += indptr[frontier[i] + 1] - indptr[frontier[i]];
+    for (int64_t k = 0; k < steps; k++) {
+        int64_t idx, offset;
+        if (degree_selection) {
+            if (total <= 0)
+                return -1;
+            int64_t target = scale_uniform(uniforms[k], total);
+            int64_t acc = 0;
+            idx = 0;
+            for (;;) {
+                int64_t vertex = frontier[idx];
+                int64_t degree = indptr[vertex + 1] - indptr[vertex];
+                if (target < acc + degree) {
+                    offset = target - acc;
+                    break;
+                }
+                acc += degree;
+                idx++; /* target < total guarantees idx stays < m */
+            }
+        } else {
+            idx = scale_uniform(uniforms[2 * k], m);
+            int64_t vertex = frontier[idx];
+            int64_t degree = indptr[vertex + 1] - indptr[vertex];
+            if (degree <= 0)
+                return -1;
+            offset = scale_uniform(uniforms[2 * k + 1], degree);
+        }
+        int64_t current = frontier[idx];
+        int64_t old_degree = indptr[current + 1] - indptr[current];
+        int64_t next = indices[indptr[current] + offset];
+        out_u[k] = current;
+        out_v[k] = next;
+        out_idx[k] = idx;
+        frontier[idx] = next;
+        total += (indptr[next + 1] - indptr[next]) - old_degree;
+    }
+    return 0;
+}
+
+/* Metropolis-Hastings walk targeting the uniform vertex law.
+ * Draws: two uniforms per step (proposal offset, accept test).
+ * Accept iff u2 * deg(proposal) < deg(current), i.e. with probability
+ * min(1, deg(current) / deg(proposal)).
+ * Returns the number of accepted transitions (edges written). */
+int64_t repro_mh_steps(const int64_t *indptr, const int64_t *indices,
+                       int64_t start, int64_t steps, const double *uniforms,
+                       int64_t *out_eu, int64_t *out_ev,
+                       int64_t *out_visited) {
+    int64_t current = start;
+    int64_t accepted = 0;
+    for (int64_t k = 0; k < steps; k++) {
+        int64_t row = indptr[current];
+        int64_t deg_u = indptr[current + 1] - row;
+        int64_t proposal =
+            indices[row + scale_uniform(uniforms[2 * k], deg_u)];
+        int64_t deg_v = indptr[proposal + 1] - indptr[proposal];
+        if (uniforms[2 * k + 1] * (double)deg_v < (double)deg_u) {
+            out_eu[accepted] = current;
+            out_ev[accepted] = proposal;
+            accepted++;
+            current = proposal;
+        }
+        out_visited[k] = current;
+    }
+    return accepted;
+}

@@ -1,0 +1,169 @@
+"""Build and load the native walker kernels (best effort).
+
+``_kernels.c`` is compiled on first use with whatever C compiler the
+host provides (``cc``/``gcc``/``clang``), cached under the user's
+cache directory keyed by a hash of the source, and loaded through
+:mod:`ctypes` — no build-time extension machinery, no new
+dependencies.  Everything degrades gracefully: if there is no
+compiler, the compile fails, or ``REPRO_NO_NATIVE`` is set, callers
+get ``None`` and the engine falls back to the pure-Python kernels,
+which implement the identical draw protocol (traces are bit-for-bit
+the same either way — only the speed differs).
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+from pathlib import Path
+from typing import Optional
+
+import numpy as np
+
+_SOURCE = Path(__file__).with_name("_kernels.c")
+
+_I64P = ctypes.POINTER(ctypes.c_int64)
+_DP = ctypes.POINTER(ctypes.c_double)
+
+#: tri-state: None = not attempted yet; False = unavailable;
+#: ctypes.CDLL = loaded.
+_LIB: object = None
+_ATTEMPTED = False
+
+
+def _cache_dir() -> Path:
+    override = os.environ.get("REPRO_KERNEL_CACHE")
+    if override:
+        return Path(override)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro-kernels"
+
+
+def _compile_and_load() -> Optional[ctypes.CDLL]:
+    compiler = (
+        shutil.which("cc") or shutil.which("gcc") or shutil.which("clang")
+    )
+    if compiler is None:
+        return None
+    source_text = _SOURCE.read_text(encoding="utf-8")
+    digest = hashlib.sha256(source_text.encode("utf-8")).hexdigest()[:16]
+    directory = _cache_dir()
+    library = directory / f"kernels-{digest}.so"
+    if not library.exists():
+        directory.mkdir(parents=True, exist_ok=True)
+        # Compile to a private temp name, then atomically rename, so
+        # concurrent test workers never load a half-written object.
+        descriptor, temp_name = tempfile.mkstemp(
+            suffix=".so", dir=str(directory)
+        )
+        os.close(descriptor)
+        try:
+            subprocess.run(
+                [
+                    compiler,
+                    "-O2",
+                    "-shared",
+                    "-fPIC",
+                    "-o",
+                    temp_name,
+                    str(_SOURCE),
+                ],
+                check=True,
+                capture_output=True,
+                timeout=120,
+            )
+            os.replace(temp_name, library)
+        finally:
+            if os.path.exists(temp_name):
+                os.unlink(temp_name)
+    lib = ctypes.CDLL(str(library))
+    lib.repro_rw_steps.restype = None
+    lib.repro_rw_steps.argtypes = [
+        _I64P, _I64P, ctypes.c_int64, ctypes.c_int64, _DP, _I64P, _I64P,
+    ]
+    lib.repro_fs_steps.restype = ctypes.c_int64
+    lib.repro_fs_steps.argtypes = [
+        _I64P, _I64P, _I64P, ctypes.c_int64, ctypes.c_int64,
+        ctypes.c_int64, _DP, _I64P, _I64P, _I64P,
+    ]
+    lib.repro_mh_steps.restype = ctypes.c_int64
+    lib.repro_mh_steps.argtypes = [
+        _I64P, _I64P, ctypes.c_int64, ctypes.c_int64, _DP,
+        _I64P, _I64P, _I64P,
+    ]
+    return lib
+
+
+def load() -> Optional[ctypes.CDLL]:
+    """The kernel library, or ``None`` when native is unavailable."""
+    global _LIB, _ATTEMPTED
+    if os.environ.get("REPRO_NO_NATIVE"):
+        return None
+    if not _ATTEMPTED:
+        _ATTEMPTED = True
+        try:
+            _LIB = _compile_and_load()
+        except Exception:
+            _LIB = None
+    return _LIB  # type: ignore[return-value]
+
+
+def available() -> bool:
+    return load() is not None
+
+
+def _i64(array: np.ndarray):
+    return array.ctypes.data_as(_I64P)
+
+
+def _f64(array: np.ndarray):
+    return array.ctypes.data_as(_DP)
+
+
+def rw_steps(indptr, indices, start, steps, uniforms):
+    """Native simple-random-walk steps; returns ``(out_u, out_v)``."""
+    lib = load()
+    out_u = np.empty(steps, dtype=np.int64)
+    out_v = np.empty(steps, dtype=np.int64)
+    lib.repro_rw_steps(
+        _i64(indptr), _i64(indices), start, steps, _f64(uniforms),
+        _i64(out_u), _i64(out_v),
+    )
+    return out_u, out_v
+
+
+def fs_steps(indptr, indices, frontier, steps, degree_selection, uniforms):
+    """Native FS steps; mutates ``frontier`` in place.
+
+    Returns ``(out_u, out_v, out_idx)``.
+    """
+    lib = load()
+    out_u = np.empty(steps, dtype=np.int64)
+    out_v = np.empty(steps, dtype=np.int64)
+    out_idx = np.empty(steps, dtype=np.int64)
+    status = lib.repro_fs_steps(
+        _i64(indptr), _i64(indices), _i64(frontier), len(frontier), steps,
+        1 if degree_selection else 0, _f64(uniforms),
+        _i64(out_u), _i64(out_v), _i64(out_idx),
+    )
+    if status != 0:
+        raise ValueError("frontier reached a state with zero total degree")
+    return out_u, out_v, out_idx
+
+
+def mh_steps(indptr, indices, start, steps, uniforms):
+    """Native MH walk; returns ``(edge_u, edge_v, visited)``."""
+    lib = load()
+    out_eu = np.empty(steps, dtype=np.int64)
+    out_ev = np.empty(steps, dtype=np.int64)
+    out_visited = np.empty(steps, dtype=np.int64)
+    accepted = lib.repro_mh_steps(
+        _i64(indptr), _i64(indices), start, steps, _f64(uniforms),
+        _i64(out_eu), _i64(out_ev), _i64(out_visited),
+    )
+    return out_eu[:accepted], out_ev[:accepted], out_visited

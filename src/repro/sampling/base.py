@@ -11,12 +11,15 @@ from __future__ import annotations
 
 import abc
 import random
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
 
+from repro.graph.csr import CSRGraph
 from repro.graph.graph import Graph
 from repro.util.alias import AliasTable
-from repro.util.rng import RngLike, ensure_rng
+from repro.util.backends import VALID_BACKENDS, check_backend_name
+from repro.util.rng import RngLike
 
 Edge = Tuple[int, int]
 
@@ -28,6 +31,77 @@ Edge = Tuple[int, int]
 SeedingMode = str
 
 _VALID_SEEDING = ("uniform", "stationary")
+
+#: Which execution substrate a sampler runs on.
+#: - "list": the interpreted per-step walkers over adjacency-list
+#:   graphs (the original, paper-literal implementation).
+#: - "csr": the batch engine over CSR arrays
+#:   (:mod:`repro.sampling.vectorized`), native-accelerated when a C
+#:   compiler is available.  Uses the numpy block-draw protocol, so
+#:   its streams differ from the list backend's for the same seed.
+Backend = str
+
+_VALID_BACKENDS = VALID_BACKENDS
+
+_default_backend: Backend = "list"
+
+#: The single validation point for backend names (shared with the
+#: graph-I/O and dataset layers via util.backends).
+_require_backend = check_backend_name
+
+
+def check_backend(backend: Optional[Backend]) -> Optional[Backend]:
+    """Validate a backend choice early (``None`` = use the default)."""
+    if backend is None:
+        return None
+    return _require_backend(backend)
+
+
+def set_default_backend(backend: Backend) -> None:
+    """Set the process-wide backend used when samplers don't pin one.
+
+    This is how the experiment CLI opts every figure/table pipeline
+    into the fast path without threading a parameter through each
+    driver.
+    """
+    global _default_backend
+    _default_backend = _require_backend(backend)
+
+
+def get_default_backend() -> Backend:
+    return _default_backend
+
+
+@contextmanager
+def use_backend(backend: Backend):
+    """Temporarily switch the default backend (restores on exit)."""
+    previous = get_default_backend()
+    set_default_backend(backend)
+    try:
+        yield
+    finally:
+        set_default_backend(previous)
+
+
+def resolve_backend(backend: Optional[Backend], graph=None) -> Backend:
+    """The backend a ``sample`` call should run on.
+
+    Explicit sampler setting wins, else the process default.  A
+    :class:`~repro.graph.csr.CSRGraph` input forces "csr" (the
+    interpreted walkers cannot run on packed arrays) and conflicts
+    loudly with an explicit "list" request.
+    """
+    resolved = (
+        _default_backend if backend is None else _require_backend(backend)
+    )
+    if isinstance(graph, CSRGraph):
+        if backend == "list":
+            raise TypeError(
+                "backend='list' cannot sample a CSRGraph; convert with"
+                " to_graph() or drop the explicit backend"
+            )
+        return "csr"
+    return resolved
 
 
 @dataclass
@@ -176,3 +250,15 @@ def walk_steps(budget: float, num_walkers: int, seed_cost: float) -> int:
         raise ValueError(f"seed_cost must be >= 0, got {seed_cost}")
     remaining = budget - num_walkers * seed_cost
     return max(0, int(remaining))
+
+
+def multiple_walk_steps(
+    budget: float, num_walkers: int, seed_cost: float
+) -> int:
+    """Steps *per walker* for independent walkers splitting a budget.
+
+    ``floor(B/m - c)`` as in Section 4.4, floored at zero.  Shared by
+    both backends of MultipleRW so their paper accounting can never
+    drift apart.
+    """
+    return max(0, int(budget / num_walkers - seed_cost))

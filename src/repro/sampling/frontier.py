@@ -17,13 +17,17 @@ from __future__ import annotations
 from typing import List, Optional, Sequence
 
 from repro.graph.graph import Graph
+from repro.sampling import vectorized
 from repro.sampling.base import (
+    Backend,
     Edge,
     Sampler,
     SeedingMode,
     WalkTrace,
+    check_backend,
     check_seeding,
     make_seeds,
+    resolve_backend,
     walk_steps,
 )
 from repro.util.fenwick import FenwickTree
@@ -50,6 +54,7 @@ class FrontierSampler(Sampler):
         seeding: SeedingMode = "uniform",
         seed_cost: float = 1.0,
         walker_selection: str = "degree",
+        backend: Optional[Backend] = None,
     ):
         if dimension < 1:
             raise ValueError(f"dimension must be >= 1, got {dimension}")
@@ -64,10 +69,22 @@ class FrontierSampler(Sampler):
             raise ValueError(f"seed_cost must be >= 0, got {seed_cost}")
         self.seed_cost = seed_cost
         self.walker_selection = walker_selection
+        self.backend = check_backend(backend)
 
     def sample(
         self, graph: Graph, budget: float, rng: RngLike = None
     ) -> WalkTrace:
+        if resolve_backend(self.backend, graph) == "csr":
+            return vectorized.sample_frontier(
+                graph,
+                self.dimension,
+                budget,
+                seeding=self.seeding,
+                seed_cost=self.seed_cost,
+                walker_selection=self.walker_selection,
+                rng=rng,
+                method=self.name,
+            )
         generator = ensure_rng(rng)
         seeds = make_seeds(graph, self.dimension, self.seeding, generator)
         steps = walk_steps(budget, self.dimension, self.seed_cost)
@@ -101,6 +118,16 @@ class FrontierSampler(Sampler):
             raise ValueError(
                 f"expected {self.dimension} initial vertices,"
                 f" got {len(initial_vertices)}"
+            )
+        if resolve_backend(self.backend, graph) == "csr":
+            return vectorized.frontier_trace_from(
+                graph,
+                initial_vertices,
+                num_steps,
+                seed_cost=self.seed_cost,
+                walker_selection=self.walker_selection,
+                rng=rng,
+                method=self.name,
             )
         generator = ensure_rng(rng)
         edges, per_walker, indices = self._run(
@@ -144,5 +171,6 @@ class FrontierSampler(Sampler):
         return (
             f"FrontierSampler(dimension={self.dimension},"
             f" seeding={self.seeding!r}, seed_cost={self.seed_cost},"
-            f" walker_selection={self.walker_selection!r})"
+            f" walker_selection={self.walker_selection!r},"
+            f" backend={self.backend!r})"
         )

@@ -13,16 +13,20 @@ reweighting (see :func:`repro.estimators.vertex_density.vertex_density_from_vert
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
 from repro.graph.graph import Graph
+from repro.sampling import vectorized
 from repro.sampling.base import (
+    Backend,
     Edge,
     Sampler,
     SeedingMode,
     WalkTrace,
+    check_backend,
     check_seeding,
     make_seeds,
+    resolve_backend,
     walk_steps,
 )
 from repro.util.rng import RngLike, ensure_rng
@@ -41,15 +45,30 @@ class MetropolisHastingsWalk(Sampler):
 
     name = "MRW"
 
-    def __init__(self, seeding: SeedingMode = "uniform", seed_cost: float = 1.0):
+    def __init__(
+        self,
+        seeding: SeedingMode = "uniform",
+        seed_cost: float = 1.0,
+        backend: Optional[Backend] = None,
+    ):
         self.seeding = check_seeding(seeding)
         if seed_cost < 0:
             raise ValueError(f"seed_cost must be >= 0, got {seed_cost}")
         self.seed_cost = seed_cost
+        self.backend = check_backend(backend)
 
     def sample(
         self, graph: Graph, budget: float, rng: RngLike = None
     ) -> "MetropolisTrace":
+        if resolve_backend(self.backend, graph) == "csr":
+            return vectorized.sample_metropolis(
+                graph,
+                budget,
+                seeding=self.seeding,
+                seed_cost=self.seed_cost,
+                rng=rng,
+                method=self.name,
+            )
         generator = ensure_rng(rng)
         start = make_seeds(graph, 1, self.seeding, generator)[0]
         steps = walk_steps(budget, 1, self.seed_cost)
@@ -76,7 +95,7 @@ class MetropolisHastingsWalk(Sampler):
     def __repr__(self) -> str:
         return (
             f"MetropolisHastingsWalk(seeding={self.seeding!r},"
-            f" seed_cost={self.seed_cost})"
+            f" seed_cost={self.seed_cost}, backend={self.backend!r})"
         )
 
 
@@ -88,3 +107,13 @@ class MetropolisTrace(WalkTrace):
     def __init__(self, *args, **kwargs):
         super().__init__(*args, **kwargs)
         self.visited = []
+
+    def spent(self) -> float:
+        """Budget consumed: seeds plus one unit per *proposal*.
+
+        ``edges`` holds only accepted transitions, but a rejected
+        proposal still costs its neighbor query (one entry in
+        ``visited`` either way), so the count must come from the visit
+        sequence, not the edge list.
+        """
+        return self.seed_cost * len(self.initial_vertices) + len(self.visited)

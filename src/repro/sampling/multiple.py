@@ -10,16 +10,21 @@ failure mode Figures 1, 5 and 9 exhibit.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
 from repro.graph.graph import Graph
+from repro.sampling import vectorized
 from repro.sampling.base import (
+    Backend,
     Edge,
     Sampler,
     SeedingMode,
     WalkTrace,
+    check_backend,
     check_seeding,
     make_seeds,
+    multiple_walk_steps,
+    resolve_backend,
 )
 from repro.sampling.single import random_walk
 from repro.util.rng import RngLike, ensure_rng
@@ -35,6 +40,7 @@ class MultipleRandomWalk(Sampler):
         num_walkers: int,
         seeding: SeedingMode = "uniform",
         seed_cost: float = 1.0,
+        backend: Optional[Backend] = None,
     ):
         if num_walkers < 1:
             raise ValueError(f"num_walkers must be >= 1, got {num_walkers}")
@@ -43,15 +49,25 @@ class MultipleRandomWalk(Sampler):
         if seed_cost < 0:
             raise ValueError(f"seed_cost must be >= 0, got {seed_cost}")
         self.seed_cost = seed_cost
+        self.backend = check_backend(backend)
 
     def steps_per_walker(self, budget: float) -> int:
         """``floor(B/m - c)`` as in Section 4.4, floored at zero."""
-        per_walker = budget / self.num_walkers - self.seed_cost
-        return max(0, int(per_walker))
+        return multiple_walk_steps(budget, self.num_walkers, self.seed_cost)
 
     def sample(
         self, graph: Graph, budget: float, rng: RngLike = None
     ) -> WalkTrace:
+        if resolve_backend(self.backend, graph) == "csr":
+            return vectorized.sample_multiple(
+                graph,
+                self.num_walkers,
+                budget,
+                seeding=self.seeding,
+                seed_cost=self.seed_cost,
+                rng=rng,
+                method=self.name,
+            )
         generator = ensure_rng(rng)
         seeds = make_seeds(graph, self.num_walkers, self.seeding, generator)
         steps = self.steps_per_walker(budget)
@@ -73,5 +89,6 @@ class MultipleRandomWalk(Sampler):
     def __repr__(self) -> str:
         return (
             f"MultipleRandomWalk(num_walkers={self.num_walkers},"
-            f" seeding={self.seeding!r}, seed_cost={self.seed_cost})"
+            f" seeding={self.seeding!r}, seed_cost={self.seed_cost},"
+            f" backend={self.backend!r})"
         )

@@ -8,16 +8,20 @@ to degree.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 from repro.graph.graph import Graph
+from repro.sampling import vectorized
 from repro.sampling.base import (
+    Backend,
     Edge,
     Sampler,
     SeedingMode,
     WalkTrace,
+    check_backend,
     check_seeding,
     make_seeds,
+    resolve_backend,
     walk_steps,
 )
 from repro.util.rng import RngLike, ensure_rng
@@ -47,15 +51,30 @@ class SingleRandomWalk(Sampler):
 
     name = "SingleRW"
 
-    def __init__(self, seeding: SeedingMode = "uniform", seed_cost: float = 1.0):
+    def __init__(
+        self,
+        seeding: SeedingMode = "uniform",
+        seed_cost: float = 1.0,
+        backend: Optional[Backend] = None,
+    ):
         self.seeding = check_seeding(seeding)
         if seed_cost < 0:
             raise ValueError(f"seed_cost must be >= 0, got {seed_cost}")
         self.seed_cost = seed_cost
+        self.backend = check_backend(backend)
 
     def sample(
         self, graph: Graph, budget: float, rng: RngLike = None
     ) -> WalkTrace:
+        if resolve_backend(self.backend, graph) == "csr":
+            return vectorized.sample_single(
+                graph,
+                budget,
+                seeding=self.seeding,
+                seed_cost=self.seed_cost,
+                rng=rng,
+                method=self.name,
+            )
         generator = ensure_rng(rng)
         start = make_seeds(graph, 1, self.seeding, generator)[0]
         steps = walk_steps(budget, 1, self.seed_cost)
@@ -71,5 +90,5 @@ class SingleRandomWalk(Sampler):
     def __repr__(self) -> str:
         return (
             f"SingleRandomWalk(seeding={self.seeding!r},"
-            f" seed_cost={self.seed_cost})"
+            f" seed_cost={self.seed_cost}, backend={self.backend!r})"
         )

@@ -1,0 +1,616 @@
+"""Batch walker engine over CSR arrays — the ``csr`` backend.
+
+Runs SRW, MHRW and m-dimensional FS against a
+:class:`~repro.graph.csr.CSRGraph` with a fixed *draw protocol*: all
+randomness is pre-drawn in blocks from a :class:`numpy.random.Generator`
+and every step consumes a protocol-defined number of uniforms, scaled
+onto integer ranges with ``int(u * range)``.  All weight arithmetic is
+exact int64, so the three interchangeable kernel implementations —
+
+- the native C kernels (:mod:`repro.sampling._native`), used when a
+  compiler is available,
+- the pure-Python loops below running over CSR arrays, and
+- the same loops running over a :class:`~repro.graph.graph.Graph`'s
+  adjacency lists (the ``list`` reference used by the parity tests)
+
+produce **bit-for-bit identical traces** from the same seeded
+generator.  FS's degree-proportional walker pick is a cumulative-weight
+search over the frontier's degree vector (not the per-step Fenwick tree
+the interpreted sampler uses): one uniform scaled onto the frontier's
+total degree lands in some walker's slice of the concatenated
+incident-edge lists, which *is* the degree-proportional walker pick
+plus a uniform neighbor pick (Lemma 5.1's edge-frontier view).
+
+Draw protocol (per ``sample`` call): seed uniforms first — one per
+seed, against the walkable-vertex count (uniform seeding) or the total
+degree (stationary seeding) — then step uniforms: SRW one per step;
+FS one per step (degree selection) or two (uniform selection); MHRW
+two per step (proposal, accept); MultipleRW one block of ``steps``
+uniforms per walker, walker by walker.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph, get_csr
+from repro.graph.graph import Graph
+from repro.sampling import _native
+from repro.sampling.base import (
+    Edge,
+    WalkTrace,
+    check_seeding,
+    multiple_walk_steps,
+    walk_steps,
+)
+from repro.util.rng import NpRngLike, ensure_np_rng
+
+GraphLike = Union[Graph, CSRGraph]
+
+
+# ----------------------------------------------------------------------
+# traces backed by arrays (lazy list materialization)
+# ----------------------------------------------------------------------
+class ArrayWalkTrace(WalkTrace):
+    """A :class:`WalkTrace` whose step record lives in int64 arrays.
+
+    ``edges`` / ``per_walker`` / ``walker_indices`` materialize their
+    list forms lazily on first access, so hot paths that only need the
+    arrays (or only need the trace recorded) never pay for a million
+    tuple allocations.  Vectorized estimators should prefer
+    :attr:`step_sources` / :attr:`step_targets` directly.
+    """
+
+    def __init__(
+        self,
+        method: str,
+        step_sources: np.ndarray,
+        step_targets: np.ndarray,
+        initial_vertices: List[int],
+        budget: float,
+        seed_cost: float,
+        step_walkers: Optional[np.ndarray] = None,
+    ):
+        self.method = method
+        self.initial_vertices = initial_vertices
+        self.budget = budget
+        self.seed_cost = seed_cost
+        #: int64 arrays: sources/targets of step i; optionally which
+        #: walker made step i.
+        self.step_sources = step_sources
+        self.step_targets = step_targets
+        self.step_walkers = step_walkers
+        self._edges: Optional[List[Edge]] = None
+        self._per_walker: Optional[List[List[Edge]]] = None
+        self._walker_indices: Optional[List[int]] = None
+
+    @property
+    def edges(self) -> List[Edge]:
+        if self._edges is None:
+            self._edges = list(
+                zip(self.step_sources.tolist(), self.step_targets.tolist())
+            )
+        return self._edges
+
+    @property
+    def walker_indices(self) -> Optional[List[int]]:
+        if self.step_walkers is None:
+            return None
+        if self._walker_indices is None:
+            self._walker_indices = self.step_walkers.tolist()
+        return self._walker_indices
+
+    @property
+    def per_walker(self) -> Optional[List[List[Edge]]]:
+        if self.step_walkers is None:
+            return None
+        if self._per_walker is None:
+            walkers = len(self.initial_vertices)
+            order = np.argsort(self.step_walkers, kind="stable")
+            sources = self.step_sources[order]
+            targets = self.step_targets[order]
+            bounds = np.searchsorted(
+                self.step_walkers[order], np.arange(walkers + 1)
+            )
+            self._per_walker = [
+                list(
+                    zip(
+                        sources[bounds[i] : bounds[i + 1]].tolist(),
+                        targets[bounds[i] : bounds[i + 1]].tolist(),
+                    )
+                )
+                for i in range(walkers)
+            ]
+        return self._per_walker
+
+    @property
+    def num_steps(self) -> int:
+        return int(self.step_sources.size)
+
+    @property
+    def visited_vertices(self) -> List[int]:
+        return self.step_targets.tolist()
+
+    def spent(self) -> float:
+        return (
+            self.seed_cost * len(self.initial_vertices)
+            + self.step_sources.size
+        )
+
+
+class ArrayMetropolisTrace(ArrayWalkTrace):
+    """Array-backed MH trace: accepted edges plus full visit sequence."""
+
+    def __init__(self, *args, visited_array: np.ndarray, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.visited_array = visited_array
+        self._visited: Optional[List[int]] = None
+
+    @property
+    def visited(self) -> List[int]:
+        """Visited-vertex sequence including rejection holds."""
+        if self._visited is None:
+            self._visited = self.visited_array.tolist()
+        return self._visited
+
+    def spent(self) -> float:
+        """Seeds plus one unit per proposal (rejections cost too)."""
+        return (
+            self.seed_cost * len(self.initial_vertices)
+            + self.visited_array.size
+        )
+
+
+# ----------------------------------------------------------------------
+# shared helpers
+# ----------------------------------------------------------------------
+def degrees_array(graph: GraphLike) -> np.ndarray:
+    """Degree sequence of either representation as an int64 array."""
+    if isinstance(graph, CSRGraph):
+        return graph.degrees()
+    return np.asarray(graph.degrees(), dtype=np.int64)
+
+
+def _scale(u: float, range_: int) -> int:
+    """``int(u * range_)`` with the same clamp the C kernels apply."""
+    value = int(u * range_)
+    return range_ - 1 if value >= range_ else value
+
+
+def _accessors(graph: GraphLike):
+    """(degree, neighbor-at-offset) closures for the Python kernels."""
+    if isinstance(graph, CSRGraph):
+        indptr, indices = graph.as_lists()
+
+        def degree_of(v: int) -> int:
+            return indptr[v + 1] - indptr[v]
+
+        def neighbor_at(v: int, offset: int) -> int:
+            return indices[indptr[v] + offset]
+
+    else:
+        adjacency = [graph.neighbors(v) for v in graph.vertices()]
+
+        def degree_of(v: int) -> int:
+            return len(adjacency[v])
+
+        def neighbor_at(v: int, offset: int) -> int:
+            return adjacency[v][offset]
+
+    return degree_of, neighbor_at
+
+
+def _want_native(graph: GraphLike, native: Optional[bool]) -> bool:
+    if native is False:
+        return False
+    usable = isinstance(graph, CSRGraph) and _native.available()
+    if native is True and not usable:
+        raise ValueError(
+            "native kernels requested but unavailable (need a CSRGraph"
+            " input, a C compiler on PATH, and REPRO_NO_NATIVE unset)"
+        )
+    return usable
+
+
+def _fast_form(graph: GraphLike, native: Optional[bool]) -> GraphLike:
+    """The representation a sampler entry point should run on.
+
+    On the default auto path an adjacency-list graph is converted (via
+    the version-tagged cache) so the native kernels can engage — this
+    is what makes ``backend="csr"`` fast even when callers hold a
+    plain :class:`Graph`.  An explicit ``native=False`` pins the input
+    representation; the parity tests rely on that to drive the
+    list-adjacency reference kernels.
+    """
+    if native is None and isinstance(graph, Graph):
+        return get_csr(graph)
+    return graph
+
+
+def uniform_seeds_np(
+    degrees: np.ndarray, count: int, rng: np.random.Generator
+) -> List[int]:
+    """``count`` uniform draws over the walkable (degree >= 1) vertices."""
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
+    walkable = np.flatnonzero(degrees > 0)
+    if walkable.size == 0:
+        raise ValueError("graph has no vertices with positive degree")
+    positions = (rng.random(count) * walkable.size).astype(np.int64)
+    np.minimum(positions, walkable.size - 1, out=positions)
+    return walkable[positions].tolist()
+
+
+def stationary_seeds_np(
+    degrees: np.ndarray, count: int, rng: np.random.Generator
+) -> List[int]:
+    """``count`` degree-proportional draws (steady-state seeding)."""
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
+    cumulative = np.cumsum(degrees, dtype=np.int64)
+    total = int(cumulative[-1]) if cumulative.size else 0
+    if total == 0:
+        raise ValueError("graph has no edges; stationary law is undefined")
+    targets = (rng.random(count) * total).astype(np.int64)
+    np.minimum(targets, total - 1, out=targets)
+    return np.searchsorted(cumulative, targets, side="right").tolist()
+
+
+def make_seeds_np(
+    graph: GraphLike, count: int, mode: str, rng: np.random.Generator
+) -> List[int]:
+    """Dispatch on the seeding mode (numpy draw protocol)."""
+    degrees = degrees_array(graph)
+    if mode == "uniform":
+        return uniform_seeds_np(degrees, count, rng)
+    if mode == "stationary":
+        return stationary_seeds_np(degrees, count, rng)
+    raise ValueError(
+        f"seeding must be one of ('uniform', 'stationary'), got {mode!r}"
+    )
+
+
+# ----------------------------------------------------------------------
+# step kernels (native dispatch + pure-Python mirrors)
+# ----------------------------------------------------------------------
+def run_random_walk(
+    graph: GraphLike,
+    start: int,
+    steps: int,
+    rng: np.random.Generator,
+    native: Optional[bool] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """SRW step record ``(sources, targets)``; one uniform per step."""
+    if graph.degree(start) == 0:
+        raise ValueError(f"cannot walk from isolated vertex {start}")
+    uniforms = rng.random(steps)
+    if _want_native(graph, native):
+        return _native.rw_steps(
+            graph.indptr, graph.indices, start, steps, uniforms
+        )
+    degree_of, neighbor_at = _accessors(graph)
+    draws = uniforms.tolist()
+    sources: List[int] = []
+    targets: List[int] = []
+    current = start
+    for k in range(steps):
+        degree = degree_of(current)
+        nxt = neighbor_at(current, _scale(draws[k], degree))
+        sources.append(current)
+        targets.append(nxt)
+        current = nxt
+    return (
+        np.asarray(sources, dtype=np.int64),
+        np.asarray(targets, dtype=np.int64),
+    )
+
+
+def run_frontier(
+    graph: GraphLike,
+    frontier: Sequence[int],
+    steps: int,
+    rng: np.random.Generator,
+    walker_selection: str = "degree",
+    native: Optional[bool] = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """FS step record ``(sources, targets, walker_indices)``.
+
+    Degree selection consumes one uniform per step (cumulative-weight
+    search over the frontier degree vector); the uniform-walker
+    ablation consumes two.
+    """
+    if walker_selection not in ("degree", "uniform"):
+        raise ValueError(
+            "walker_selection must be 'degree' or 'uniform',"
+            f" got {walker_selection!r}"
+        )
+    positions = [int(v) for v in frontier]
+    for v in positions:
+        if graph.degree(v) == 0:
+            raise ValueError(
+                f"initial vertex {v} is isolated; FS cannot walk from it"
+            )
+    degree_selection = walker_selection == "degree"
+    uniforms = rng.random(steps if degree_selection else 2 * steps)
+    if _want_native(graph, native):
+        return _native.fs_steps(
+            graph.indptr,
+            graph.indices,
+            np.asarray(positions, dtype=np.int64),
+            steps,
+            degree_selection,
+            uniforms,
+        )
+    degree_of, neighbor_at = _accessors(graph)
+    draws = uniforms.tolist()
+    m = len(positions)
+    total = sum(degree_of(v) for v in positions)
+    sources: List[int] = []
+    targets: List[int] = []
+    walker_of: List[int] = []
+    for k in range(steps):
+        if degree_selection:
+            if total <= 0:
+                raise ValueError(
+                    "frontier reached a state with zero total degree"
+                )
+            target = _scale(draws[k], total)
+            acc = 0
+            idx = 0
+            while True:
+                degree = degree_of(positions[idx])
+                if target < acc + degree:
+                    offset = target - acc
+                    break
+                acc += degree
+                idx += 1
+        else:
+            idx = _scale(draws[2 * k], m)
+            degree = degree_of(positions[idx])
+            if degree <= 0:
+                raise ValueError(
+                    "frontier reached a state with zero total degree"
+                )
+            offset = _scale(draws[2 * k + 1], degree)
+        current = positions[idx]
+        old_degree = degree_of(current)
+        nxt = neighbor_at(current, offset)
+        sources.append(current)
+        targets.append(nxt)
+        walker_of.append(idx)
+        positions[idx] = nxt
+        total += degree_of(nxt) - old_degree
+    return (
+        np.asarray(sources, dtype=np.int64),
+        np.asarray(targets, dtype=np.int64),
+        np.asarray(walker_of, dtype=np.int64),
+    )
+
+
+def run_metropolis(
+    graph: GraphLike,
+    start: int,
+    steps: int,
+    rng: np.random.Generator,
+    native: Optional[bool] = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """MH step record ``(edge_sources, edge_targets, visited)``.
+
+    Two uniforms per step; accepted transitions only appear in the edge
+    arrays, while ``visited`` records the position after every step.
+    """
+    if graph.degree(start) == 0:
+        raise ValueError(f"cannot walk from isolated vertex {start}")
+    uniforms = rng.random(2 * steps)
+    if _want_native(graph, native):
+        return _native.mh_steps(
+            graph.indptr, graph.indices, start, steps, uniforms
+        )
+    degree_of, neighbor_at = _accessors(graph)
+    draws = uniforms.tolist()
+    edge_sources: List[int] = []
+    edge_targets: List[int] = []
+    visited: List[int] = []
+    current = start
+    for k in range(steps):
+        degree_u = degree_of(current)
+        proposal = neighbor_at(current, _scale(draws[2 * k], degree_u))
+        degree_v = degree_of(proposal)
+        if draws[2 * k + 1] * degree_v < degree_u:
+            edge_sources.append(current)
+            edge_targets.append(proposal)
+            current = proposal
+        visited.append(current)
+    return (
+        np.asarray(edge_sources, dtype=np.int64),
+        np.asarray(edge_targets, dtype=np.int64),
+        np.asarray(visited, dtype=np.int64),
+    )
+
+
+def batch_walk_positions(
+    graph: GraphLike,
+    starts: Sequence[int],
+    steps: int,
+    rng: NpRngLike = None,
+) -> np.ndarray:
+    """Advance many independent walkers in lockstep, fully vectorized.
+
+    Returns the ``(steps + 1, len(starts))`` position history, row 0
+    being ``starts``.  Every step is one ``rng.integers`` draw into
+    each walker's CSR row slice — no per-walker Python loop — which is
+    the building block for the sharded multi-process crawls the CSR
+    core is meant to unlock.  (Utility path: not part of the
+    trace-parity protocol.)
+    """
+    csr = get_csr(graph)
+    generator = ensure_np_rng(rng)
+    positions = np.asarray(starts, dtype=np.int64)
+    if positions.size and np.any(csr.degrees()[positions] == 0):
+        raise ValueError("all starting vertices must have degree >= 1")
+    history = np.empty((steps + 1, positions.size), dtype=np.int64)
+    history[0] = positions
+    for k in range(steps):
+        positions = csr.random_neighbors(positions, generator)
+        history[k + 1] = positions
+    return history
+
+
+# ----------------------------------------------------------------------
+# sampler-level entry points (budget/seed semantics match the
+# interpreted samplers in single.py / multiple.py / frontier.py /
+# metropolis.py)
+# ----------------------------------------------------------------------
+def sample_single(
+    graph: GraphLike,
+    budget: float,
+    seeding: str = "uniform",
+    seed_cost: float = 1.0,
+    rng: NpRngLike = None,
+    method: str = "SingleRW",
+    native: Optional[bool] = None,
+) -> ArrayWalkTrace:
+    """SingleRW on the csr backend."""
+    check_seeding(seeding)
+    graph = _fast_form(graph, native)
+    generator = ensure_np_rng(rng)
+    start = make_seeds_np(graph, 1, seeding, generator)[0]
+    steps = walk_steps(budget, 1, seed_cost)
+    sources, targets = run_random_walk(graph, start, steps, generator, native)
+    return ArrayWalkTrace(
+        method=method,
+        step_sources=sources,
+        step_targets=targets,
+        initial_vertices=[start],
+        budget=budget,
+        seed_cost=seed_cost,
+    )
+
+
+def sample_multiple(
+    graph: GraphLike,
+    num_walkers: int,
+    budget: float,
+    seeding: str = "uniform",
+    seed_cost: float = 1.0,
+    rng: NpRngLike = None,
+    method: str = "MultipleRW",
+    native: Optional[bool] = None,
+) -> ArrayWalkTrace:
+    """MultipleRW on the csr backend (walker-by-walker draw order)."""
+    check_seeding(seeding)
+    graph = _fast_form(graph, native)
+    generator = ensure_np_rng(rng)
+    seeds = make_seeds_np(graph, num_walkers, seeding, generator)
+    steps = multiple_walk_steps(budget, num_walkers, seed_cost)
+    source_blocks: List[np.ndarray] = []
+    target_blocks: List[np.ndarray] = []
+    for start in seeds:
+        sources, targets = run_random_walk(
+            graph, start, steps, generator, native
+        )
+        source_blocks.append(sources)
+        target_blocks.append(targets)
+    return ArrayWalkTrace(
+        method=method,
+        step_sources=np.concatenate(source_blocks)
+        if source_blocks
+        else np.empty(0, np.int64),
+        step_targets=np.concatenate(target_blocks)
+        if target_blocks
+        else np.empty(0, np.int64),
+        initial_vertices=seeds,
+        budget=budget,
+        seed_cost=seed_cost,
+        step_walkers=np.repeat(np.arange(num_walkers, dtype=np.int64), steps),
+    )
+
+
+def sample_frontier(
+    graph: GraphLike,
+    dimension: int,
+    budget: float,
+    seeding: str = "uniform",
+    seed_cost: float = 1.0,
+    walker_selection: str = "degree",
+    rng: NpRngLike = None,
+    method: str = "FS",
+    native: Optional[bool] = None,
+) -> ArrayWalkTrace:
+    """m-dimensional FS on the csr backend (Algorithm 1 semantics)."""
+    check_seeding(seeding)
+    graph = _fast_form(graph, native)
+    generator = ensure_np_rng(rng)
+    seeds = make_seeds_np(graph, dimension, seeding, generator)
+    steps = walk_steps(budget, dimension, seed_cost)
+    sources, targets, walkers = run_frontier(
+        graph, seeds, steps, generator, walker_selection, native
+    )
+    return ArrayWalkTrace(
+        method=method,
+        step_sources=sources,
+        step_targets=targets,
+        initial_vertices=seeds,
+        budget=budget,
+        seed_cost=seed_cost,
+        step_walkers=walkers,
+    )
+
+
+def frontier_trace_from(
+    graph: GraphLike,
+    initial_vertices: Sequence[int],
+    num_steps: int,
+    seed_cost: float = 1.0,
+    walker_selection: str = "degree",
+    rng: NpRngLike = None,
+    method: str = "FS",
+    native: Optional[bool] = None,
+) -> ArrayWalkTrace:
+    """FS from pinned initial positions (csr-backend ``sample_from``)."""
+    graph = _fast_form(graph, native)
+    generator = ensure_np_rng(rng)
+    seeds = [int(v) for v in initial_vertices]
+    sources, targets, walkers = run_frontier(
+        graph, seeds, num_steps, generator, walker_selection, native
+    )
+    return ArrayWalkTrace(
+        method=method,
+        step_sources=sources,
+        step_targets=targets,
+        initial_vertices=seeds,
+        budget=num_steps + seed_cost * len(seeds),
+        seed_cost=seed_cost,
+        step_walkers=walkers,
+    )
+
+
+def sample_metropolis(
+    graph: GraphLike,
+    budget: float,
+    seeding: str = "uniform",
+    seed_cost: float = 1.0,
+    rng: NpRngLike = None,
+    method: str = "MRW",
+    native: Optional[bool] = None,
+) -> ArrayMetropolisTrace:
+    """MHRW on the csr backend."""
+    check_seeding(seeding)
+    graph = _fast_form(graph, native)
+    generator = ensure_np_rng(rng)
+    start = make_seeds_np(graph, 1, seeding, generator)[0]
+    steps = walk_steps(budget, 1, seed_cost)
+    edge_sources, edge_targets, visited = run_metropolis(
+        graph, start, steps, generator, native
+    )
+    return ArrayMetropolisTrace(
+        method,
+        edge_sources,
+        edge_targets,
+        [start],
+        budget,
+        seed_cost,
+        visited_array=visited,
+    )

@@ -1,0 +1,24 @@
+"""The backend vocabulary shared across layers.
+
+Graph I/O, the dataset registry, and the samplers all accept a
+``backend`` name; this module is the one place the legal names (and
+their validation error) live, so adding a backend — e.g. an mmap'd
+CSR variant — touches exactly one definition.  It deliberately sits
+in ``util`` (imports nothing) so the graph layer can use it without
+depending on the sampling layer.
+"""
+
+from __future__ import annotations
+
+#: - "list": adjacency-list structures walked by interpreted code.
+#: - "csr": packed indptr/indices arrays walked by the batch engine.
+VALID_BACKENDS = ("list", "csr")
+
+
+def check_backend_name(backend: str) -> str:
+    """Validate a backend name, returning it unchanged."""
+    if backend not in VALID_BACKENDS:
+        raise ValueError(
+            f"backend must be one of {VALID_BACKENDS}, got {backend!r}"
+        )
+    return backend

@@ -11,9 +11,14 @@ reproducible end to end.
 from __future__ import annotations
 
 import random
-from typing import List, Optional, Union
+from typing import List, Union
+
+import numpy as np
 
 RngLike = Union[int, random.Random, None]
+
+#: RNG-ish inputs the numpy-protocol (csr backend) code paths accept.
+NpRngLike = Union[int, random.Random, np.random.Generator, None]
 
 #: Multiplier used to decorrelate derived child seeds.  Any large odd
 #: constant works; this one is the 64-bit golden-ratio increment used by
@@ -39,6 +44,36 @@ def ensure_rng(rng: RngLike = None) -> random.Random:
         return random.Random(rng)
     raise TypeError(
         f"rng must be an int seed, random.Random, or None, got {type(rng)!r}"
+    )
+
+
+def ensure_np_rng(rng: NpRngLike = None) -> np.random.Generator:
+    """Coerce ``rng`` into a :class:`numpy.random.Generator`.
+
+    The vectorized (csr-backend) walkers draw uniforms in blocks from a
+    numpy Generator — a different stream discipline than the
+    :class:`random.Random` protocol the interpreted samplers use.  A
+    :class:`random.Random` input is accepted for convenience and is
+    consumed for 64 bits to derive the numpy seed, so replicated
+    experiments that hand out child ``random.Random`` instances remain
+    end-to-end reproducible on either backend.
+    """
+    if rng is None:
+        return np.random.default_rng()
+    if isinstance(rng, np.random.Generator):
+        return rng
+    if isinstance(rng, random.Random):
+        return np.random.default_rng(rng.getrandbits(64))
+    if isinstance(rng, bool):  # bool is an int subclass; almost surely a bug
+        raise TypeError(
+            "rng must be an int seed, random.Random, numpy Generator,"
+            " or None"
+        )
+    if isinstance(rng, int):
+        return np.random.default_rng(rng)
+    raise TypeError(
+        "rng must be an int seed, random.Random, numpy Generator, or"
+        f" None, got {type(rng)!r}"
     )
 
 

@@ -8,7 +8,7 @@ numerically stable.
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+from typing import Dict, Iterable, List, Mapping, Sequence
 
 
 class OnlineMoments:

@@ -1,6 +1,5 @@
 """Tests for the Section 3 closed-form NMSE model (eqs. 3-4)."""
 
-import math
 
 import pytest
 

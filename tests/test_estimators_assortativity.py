@@ -102,7 +102,6 @@ class TestEstimatorConvergence:
 
 class TestDirectedEstimator:
     def test_full_directed_edges_equal_truth(self, small_digraph):
-        symmetric = small_digraph.to_symmetric()
         trace = WalkTrace("x", list(small_digraph.edges()), [0], 0, 1.0)
         assert directed_assortativity_from_trace(
             small_digraph, trace

@@ -12,7 +12,7 @@ from repro.estimators.degree import (
     degree_pmf_from_trace,
     degree_pmf_from_vertices,
 )
-from repro.metrics.exact import true_degree_ccdf, true_degree_pmf
+from repro.metrics.exact import true_degree_pmf
 from repro.util.stats import total_variation
 
 

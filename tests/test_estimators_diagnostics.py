@@ -5,7 +5,6 @@ import pytest
 from repro.datasets.registry import gab
 from repro.generators.ba import barabasi_albert
 from repro.sampling.base import WalkTrace
-from repro.sampling.frontier import FrontierSampler
 from repro.sampling.multiple import MultipleRandomWalk
 from repro.estimators.diagnostics import (
     degree_observable,

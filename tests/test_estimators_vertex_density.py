@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.graph.graph import Graph
 from repro.graph.labels import VertexLabeling
 from repro.sampling.base import WalkTrace
 from repro.sampling.single import SingleRandomWalk

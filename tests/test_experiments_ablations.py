@@ -1,6 +1,5 @@
 """Structure tests for the ablation drivers (tiny scale)."""
 
-import pytest
 
 from repro.experiments.ablations import (
     SweepResult,

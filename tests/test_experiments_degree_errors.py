@@ -3,10 +3,7 @@
 import pytest
 
 from repro.generators.ba import barabasi_albert
-from repro.experiments.degree_errors import (
-    DegreeErrorResult,
-    degree_error_experiment,
-)
+from repro.experiments.degree_errors import degree_error_experiment
 from repro.sampling.frontier import FrontierSampler
 from repro.sampling.independent import RandomVertexSampler
 from repro.sampling.single import SingleRandomWalk

@@ -8,7 +8,6 @@ from repro.generators.configuration import (
     power_law_degree_sequence,
 )
 from repro.generators.rewiring import assortative_arc_swaps, assortative_rewire
-from repro.graph.digraph import DiGraph
 from repro.graph.graph import Graph
 from repro.metrics.exact import (
     true_directed_assortativity,

@@ -4,14 +4,13 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.generators.classic import complete_graph, cycle_graph, path_graph
+from repro.generators.classic import complete_graph, path_graph
 from repro.graph.cartesian import (
     cartesian_power,
     decode_state,
     encode_state,
     state_degree,
 )
-from repro.graph.graph import Graph
 
 
 class TestEncoding:

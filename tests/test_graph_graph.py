@@ -1,6 +1,5 @@
 """Tests for repro.graph.graph.Graph."""
 
-import random
 from collections import Counter
 
 import pytest

@@ -2,8 +2,6 @@
 
 import pytest
 
-from repro.graph.digraph import DiGraph
-from repro.graph.graph import Graph
 from repro.graph.io import read_edge_list, write_edge_list
 
 

@@ -1,6 +1,5 @@
 """Tests for vertex and edge labelings."""
 
-import pytest
 
 from repro.graph.labels import EdgeLabeling, VertexLabeling
 

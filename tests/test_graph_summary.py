@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.graph.digraph import DiGraph
 from repro.graph.graph import Graph
 from repro.graph.summary import GraphSummary, summarize
 

@@ -11,11 +11,7 @@ import pytest
 from repro.datasets.registry import flickr_like, gab
 from repro.experiments.degree_errors import degree_error_experiment
 from repro.experiments.samplepaths import sample_paths
-from repro.markov.transient import (
-    multiple_rw_worst_case_gap,
-    single_rw_worst_case_gap,
-    walk_trace_final_edge_gap,
-)
+from repro.markov.transient import walk_trace_final_edge_gap
 from repro.metrics.exact import true_degree_pmf
 from repro.graph.components import largest_connected_component
 from repro.sampling.frontier import FrontierSampler

@@ -5,7 +5,6 @@ from collections import Counter
 
 import pytest
 
-from repro.generators.classic import complete_graph, cycle_graph
 from repro.graph.cartesian import cartesian_power, decode_state, encode_state
 from repro.markov.chain import (
     rw_stationary_distribution,

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.generators.classic import complete_graph, cycle_graph, path_graph
+from repro.generators.classic import complete_graph, cycle_graph
 from repro.graph.graph import Graph
 from repro.markov.spectral import (
     relaxation_time,

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.generators.classic import complete_graph, cycle_graph
+from repro.generators.classic import complete_graph
 from repro.markov.transient import (
     multiple_rw_worst_case_gap,
     single_rw_edge_probabilities,

@@ -1,6 +1,5 @@
 """Tests for Kfs / Kun / Kmw walker-count laws (Lemma 5.3 etc.)."""
 
-import math
 
 import pytest
 

@@ -1,6 +1,5 @@
 """Tests for sampler plumbing: traces, seeding, budget accounting."""
 
-import random
 from collections import Counter
 
 import pytest

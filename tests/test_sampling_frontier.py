@@ -1,6 +1,5 @@
 """Tests for FrontierSampler — Algorithm 1's invariants."""
 
-import random
 from collections import Counter
 
 import pytest

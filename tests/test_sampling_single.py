@@ -1,6 +1,5 @@
 """Tests for SingleRandomWalk."""
 
-import random
 from collections import Counter
 
 import pytest
