@@ -6,6 +6,11 @@ into the pytest-benchmark report, and gates the regression: the CSR
 backend must stay >= 5x faster than the list backend whenever the
 native kernels are available (CI always has a C compiler).
 
+The estimator layer is gated too: eq. (7) degree reweighting over the
+``ArrayWalkTrace`` arrays must stay >= 10x faster than the tuple-loop
+estimator on the same FS trace, and the two must agree to 1e-12 —
+otherwise the walk speedup evaporates the moment anything is estimated.
+
 ``REPRO_BENCH_SCALE`` shrinks the graph and the step count together
 for smoke runs (CI uses 0.05).
 """
@@ -18,9 +23,11 @@ import time
 
 import pytest
 
+from repro.estimators.degree import degree_pmf_from_trace
 from repro.generators.ba import barabasi_albert
 from repro.graph.csr import get_csr
 from repro.sampling import _native
+from repro.sampling.base import WalkTrace
 from repro.sampling.frontier import FrontierSampler
 
 SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
@@ -28,6 +35,7 @@ NUM_VERTICES = max(2_000, int(100_000 * SCALE))
 NUM_STEPS = max(2_000, int(100_000 * SCALE))
 DIMENSION = 64
 SPEEDUP_FLOOR = 5.0
+ESTIMATOR_SPEEDUP_FLOOR = 10.0
 
 
 @pytest.fixture(scope="module")
@@ -105,4 +113,62 @@ def test_csr_backend_speedup(ba_graph, walker_seeds, save_result):
     assert speedup >= SPEEDUP_FLOOR, (
         f"csr backend regressed: only {speedup:.1f}x faster than the"
         f" list backend (floor {SPEEDUP_FLOOR}x)"
+    )
+
+
+def test_vectorized_estimator_speedup(ba_graph, walker_seeds, save_result):
+    """Eq. (7) reweighting over trace arrays vs the tuple loop.
+
+    Both paths run through the same public function —
+    ``degree_pmf_from_trace`` dispatches on the trace type — so this
+    measures exactly what an experiment pipeline pays per estimate.
+    """
+    array_trace = run_csr_backend(ba_graph, walker_seeds)
+    # The tuple-loop twin: identical steps, list-backed trace.  Built
+    # (and its lazy tuple list materialized) outside the timings.
+    tuple_trace = WalkTrace(
+        method=array_trace.method,
+        edges=list(array_trace.edges),
+        initial_vertices=array_trace.initial_vertices,
+        budget=array_trace.budget,
+        seed_cost=array_trace.seed_cost,
+    )
+
+    vectorized_pmf = degree_pmf_from_trace(ba_graph, array_trace)  # warm
+    tuple_pmf = degree_pmf_from_trace(ba_graph, tuple_trace)
+    assert set(vectorized_pmf) == set(tuple_pmf)
+    mismatch = max(
+        abs(vectorized_pmf[k] - tuple_pmf[k]) for k in tuple_pmf
+    )
+    assert mismatch <= 1e-12, (
+        f"vectorized estimator drifted from the tuple loop by {mismatch:.2e}"
+    )
+
+    def best_of(repeats, trace):
+        timings = []
+        for _ in range(repeats):
+            started = time.perf_counter()
+            degree_pmf_from_trace(ba_graph, trace)
+            timings.append(time.perf_counter() - started)
+        return min(timings)
+
+    tuple_seconds = best_of(3, tuple_trace)
+    vectorized_seconds = best_of(5, array_trace)
+    speedup = tuple_seconds / vectorized_seconds
+    save_result(
+        "estimator_speed",
+        "\n".join(
+            [
+                f"degree PMF estimation ({NUM_STEPS} FS steps,"
+                f" BA n={NUM_VERTICES})",
+                f"  tuple loop: {tuple_seconds * 1e3:.2f} ms",
+                f"  vectorized: {vectorized_seconds * 1e3:.2f} ms",
+                f"  speedup: {speedup:.1f}x"
+                f" (max |pmf diff|: {mismatch:.1e})",
+            ]
+        ),
+    )
+    assert speedup >= ESTIMATOR_SPEEDUP_FLOOR, (
+        f"vectorized estimator regressed: only {speedup:.1f}x faster"
+        f" than the tuple loop (floor {ESTIMATOR_SPEEDUP_FLOOR}x)"
     )

@@ -2,10 +2,18 @@
 """Quickstart: sample a graph with Frontier Sampling and estimate its
 degree distribution, assortativity and clustering coefficient.
 
-Run:  python examples/quickstart.py
+Run:  python examples/quickstart.py [--backend {list,csr}]
+
+``--backend csr`` routes the walk through the vectorized CSR engine
+(native C kernels when a compiler is available) and the estimators
+through the array-native fast path — same estimates, different
+execution substrate.
 """
 
+import argparse
+
 from repro import FrontierSampler, SingleRandomWalk, barabasi_albert
+from repro.sampling import set_default_backend
 from repro.estimators import (
     assortativity_from_trace,
     degree_ccdf_from_trace,
@@ -20,6 +28,16 @@ from repro.metrics import (
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--backend",
+        choices=("list", "csr"),
+        default="list",
+        help="sampling backend: 'list' (interpreted, paper-literal)"
+        " or 'csr' (vectorized arrays + array-native estimators)",
+    )
+    set_default_backend(parser.parse_args().backend)
+
     # A scale-free graph with 20k vertices — the kind of topology the
     # paper's crawled social networks exhibit.
     graph = barabasi_albert(20_000, 3, rng=42)

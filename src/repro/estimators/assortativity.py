@@ -20,6 +20,7 @@ from __future__ import annotations
 import math
 from typing import Iterable, Tuple
 
+from repro.estimators import _vectorized
 from repro.graph.digraph import DiGraph
 from repro.graph.graph import Graph
 from repro.sampling.base import WalkTrace
@@ -58,6 +59,8 @@ def assortativity_from_trace(graph: Graph, trace: WalkTrace) -> float:
     matches the symmetric true value computed over both orientations of
     every edge.
     """
+    if _vectorized.is_array_trace(trace):
+        return _vectorized.assortativity(graph, trace)
     return _pearson_from_pairs(
         (float(graph.degree(u)), float(graph.degree(v)))
         for u, v in trace.edges
@@ -73,6 +76,9 @@ def directed_assortativity_from_trace(
     ``(u, v)`` is relevant iff the arc exists in ``G_d``; its label is
     ``(outdeg(u), indeg(v))`` per Section 4.2.2.
     """
+    if _vectorized.is_array_trace(trace):
+        return _vectorized.directed_assortativity(digraph, trace)
+
     def labeled_pairs():
         for u, v in trace.edges:
             if digraph.has_edge(u, v):

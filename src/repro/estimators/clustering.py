@@ -26,6 +26,7 @@ corrected weight, which is what Corollary 4.2's statement requires.
 
 from __future__ import annotations
 
+from repro.estimators import _vectorized
 from repro.graph.graph import Graph
 from repro.sampling.base import WalkTrace
 
@@ -46,7 +47,12 @@ def global_clustering_from_trace(graph: Graph, trace: WalkTrace) -> float:
     first endpoint (in steady state the orientation is uniform).
     Samples whose first endpoint has degree < 2 contribute to neither
     sum: such a vertex is outside ``V*`` and cannot close a triangle.
+
+    Array-backed traces run the shared-neighbor lookup once per
+    distinct sampled edge (:mod:`repro.estimators._vectorized`).
     """
+    if _vectorized.is_array_trace(trace):
+        return _vectorized.global_clustering(graph, trace)
     if not trace.edges:
         raise ValueError("empty trace; cannot form the estimate")
     weighted = 0.0

@@ -8,12 +8,19 @@ a walker on the symmetric graph ``G`` visits ``v`` proportionally to
 
 All estimators return dense dicts over ``0 .. max_observed`` so CCDFs
 and error curves line up across methods.
+
+Array-backed traces (the csr backend's
+:class:`~repro.sampling.vectorized.ArrayWalkTrace`) dispatch to the
+numpy weighted-histogram implementation in
+:mod:`repro.estimators._vectorized`; list-backed traces keep the
+original tuple loop.  Both paths agree to ~1e-12.
 """
 
 from __future__ import annotations
 
 from typing import Callable, Dict, Optional, Sequence
 
+from repro.estimators import _vectorized
 from repro.graph.graph import Graph
 from repro.sampling.base import WalkTrace
 from repro.util.stats import ccdf_from_pmf
@@ -40,6 +47,8 @@ def degree_pmf_from_trace(
     symmetric walking degree).  The reweighting always uses the
     symmetric degree — that is the visit bias, whatever the label.
     """
+    if _vectorized.is_array_trace(trace):
+        return _vectorized.degree_pmf(graph, trace, degree_of)
     if not trace.edges:
         raise ValueError("empty trace; cannot form the estimate")
     label = degree_of if degree_of is not None else graph.degree

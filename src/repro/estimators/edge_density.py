@@ -4,12 +4,16 @@
 Because a stationary RW samples edges uniformly, the estimator is the
 plain average of the label indicator over sampled edges restricted to
 the labeled subset ``E*``.
+
+Array-backed traces dispatch to :mod:`repro.estimators._vectorized`,
+which performs the labeling lookups once per distinct sampled edge.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Hashable, Iterable
 
+from repro.estimators import _vectorized
 from repro.graph.labels import EdgeLabeling
 from repro.sampling.base import WalkTrace
 
@@ -28,6 +32,8 @@ def edge_label_density_from_trace(
     ``(u, v)`` is looked up as sampled; labelings that label only the
     original directed edges implement the paper's ``E* = E_d``.
     """
+    if _vectorized.is_array_trace(trace):
+        return _vectorized.edge_label_density(trace, labeling, label)
     hits = 0
     relevant = 0
     for u, v in trace.edges:
@@ -50,6 +56,8 @@ def edge_label_densities_from_trace(
 ) -> Dict[Label, float]:
     """Estimate many edge label densities in one pass."""
     label_list = list(labels)
+    if _vectorized.is_array_trace(trace):
+        return _vectorized.edge_label_densities(trace, labeling, label_list)
     wanted = set(label_list)
     hits: Dict[Label, int] = {label: 0 for label in label_list}
     relevant = 0

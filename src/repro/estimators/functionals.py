@@ -9,12 +9,17 @@ Everything in Section 4.2 is an instance of two templates:
   average of ``g(v)`` over visited vertices converges to the uniform
   vertex average of ``g`` (importance sampling against the
   degree-biased stationary law).
+
+Array-backed traces dispatch to :mod:`repro.estimators._vectorized`,
+which evaluates ``f``/``g`` once per distinct edge/vertex and does the
+reweighting in numpy.
 """
 
 from __future__ import annotations
 
 from typing import Callable, Optional, Tuple
 
+from repro.estimators import _vectorized
 from repro.graph.graph import Graph
 from repro.sampling.base import WalkTrace
 
@@ -35,6 +40,8 @@ def edge_functional_from_trace(
     undefined with zero relevant samples (``B* = 0``), and silently
     returning 0 would bias downstream error statistics.
     """
+    if _vectorized.is_array_trace(trace):
+        return _vectorized.edge_functional(trace, f, membership)
     total = 0.0
     count = 0
     for u, v in trace.edges:
@@ -61,6 +68,8 @@ def vertex_functional_from_trace(
     ``|V| / |E|`` — the paper reports ``|E|`` but on the symmetric graph
     the denominator is ``vol(V) = 2|E|``; the ratio cancels either way).
     """
+    if _vectorized.is_array_trace(trace):
+        return _vectorized.vertex_functional(graph, trace, g)
     if not trace.edges:
         raise ValueError("empty trace; cannot form the estimate")
     weighted = 0.0
@@ -81,6 +90,8 @@ def weighted_vertex_sums(
     normalizer across many labels and for incremental sample-path
     plots (Figures 6 and 9).
     """
+    if _vectorized.is_array_trace(trace):
+        return _vectorized.weighted_vertex_sums(graph, trace, g)
     weighted = 0.0
     normalizer = 0.0
     for _, v in trace.edges:

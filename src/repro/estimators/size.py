@@ -26,6 +26,7 @@ from __future__ import annotations
 from collections import Counter
 from typing import Tuple
 
+from repro.estimators import _vectorized
 from repro.graph.graph import Graph
 from repro.sampling.base import WalkTrace
 
@@ -34,6 +35,8 @@ def _collision_statistics(
     graph: Graph, trace: WalkTrace
 ) -> Tuple[float, float, int, int]:
     """(Psi_1, Psi_2, collisions, B) over the visited-vertex sequence."""
+    if _vectorized.is_array_trace(trace):
+        return _vectorized.collision_statistics(graph, trace)
     visited = trace.visited_vertices
     b = len(visited)
     if b < 2:

@@ -8,6 +8,7 @@ aggregates per-degree errors against the exact distribution.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional
 
@@ -20,7 +21,7 @@ from repro.estimators.degree import (
 from repro.graph.graph import Graph
 from repro.metrics.errors import nmse_curve
 from repro.metrics.exact import true_degree_ccdf, true_degree_pmf
-from repro.sampling.base import Sampler, VertexTrace
+from repro.sampling.base import Backend, Sampler, VertexTrace, use_backend
 from repro.util.rng import child_rng
 
 DegreeOf = Callable[[int], int]
@@ -117,6 +118,7 @@ def degree_error_experiment(
     degree_of: Optional[DegreeOf] = None,
     metric: str = "ccdf",
     title: str = "degree error experiment",
+    backend: Optional[Backend] = None,
 ) -> DegreeErrorResult:
     """Run all samplers and aggregate per-degree error curves.
 
@@ -125,6 +127,13 @@ def degree_error_experiment(
     produce an empty or degenerate trace are counted as estimating
     zero everywhere — the estimator had its chance and produced
     nothing, which is an error, not a skip.
+
+    ``backend`` (optional) pins the sampling backend for every run;
+    ``backend="csr"`` makes the whole pipeline array-native — the
+    batch walkers emit :class:`~repro.sampling.vectorized.ArrayWalkTrace`
+    and the degree estimators reweight over its arrays without ever
+    materializing Python tuples.  ``None`` keeps the process default
+    (which the CLI's ``--backend`` flag already controls).
     """
     if metric not in ("ccdf", "pmf"):
         raise ValueError(f"metric must be 'ccdf' or 'pmf', got {metric!r}")
@@ -141,14 +150,20 @@ def degree_error_experiment(
         truth=dict(truth),
         average_degree=graph.average_degree(),
     )
-    for method_index, (method, sampler) in enumerate(sorted(samplers.items())):
-        estimates: List[Mapping[int, float]] = []
-        for run_index in range(runs):
-            rng = child_rng(root_seed + 7919 * method_index, run_index)
-            trace = sampler.sample(graph, budget, rng)
-            try:
-                estimates.append(_estimate(graph, trace, metric, degree_of))
-            except ValueError:
-                estimates.append({})  # empty trace estimates zero mass
-        result.curves[method] = nmse_curve(estimates, truth)
+    context = use_backend(backend) if backend is not None else nullcontext()
+    with context:
+        for method_index, (method, sampler) in enumerate(
+            sorted(samplers.items())
+        ):
+            estimates: List[Mapping[int, float]] = []
+            for run_index in range(runs):
+                rng = child_rng(root_seed + 7919 * method_index, run_index)
+                trace = sampler.sample(graph, budget, rng)
+                try:
+                    estimates.append(
+                        _estimate(graph, trace, metric, degree_of)
+                    )
+                except ValueError:
+                    estimates.append({})  # empty trace estimates zero mass
+            result.curves[method] = nmse_curve(estimates, truth)
     return result

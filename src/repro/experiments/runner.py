@@ -8,7 +8,13 @@ ones.
 Runs can be pinned to a sampling backend (``backend="csr"`` routes
 every sampler constructed without an explicit backend through the
 vectorized CSR engine); the default backend is restored when the
-replication finishes, even on error.
+replication finishes, even on error.  On the csr backend the fast path
+is end to end: the walk produces an
+:class:`~repro.sampling.vectorized.ArrayWalkTrace` and every estimator
+in :mod:`repro.estimators` reweights over its int64 step arrays
+(via :mod:`repro.estimators._vectorized`) instead of looping Python
+tuples — run code does not need to do anything besides pass the trace
+along.
 """
 
 from __future__ import annotations

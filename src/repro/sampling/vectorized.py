@@ -56,11 +56,16 @@ GraphLike = Union[Graph, CSRGraph]
 class ArrayWalkTrace(WalkTrace):
     """A :class:`WalkTrace` whose step record lives in int64 arrays.
 
-    ``edges`` / ``per_walker`` / ``walker_indices`` materialize their
-    list forms lazily on first access, so hot paths that only need the
-    arrays (or only need the trace recorded) never pay for a million
-    tuple allocations.  Vectorized estimators should prefer
-    :attr:`step_sources` / :attr:`step_targets` directly.
+    ``edges`` / ``per_walker`` / ``walker_indices`` /
+    ``visited_vertices`` materialize their list forms lazily on *first*
+    access and cache them (each is an O(num_steps) conversion), so hot
+    paths that only need the arrays — or only need the trace recorded —
+    never pay for a million tuple allocations.  The cached lists are
+    returned by reference and must be treated as read-only — mutating
+    one corrupts every later read.  Internal consumers (the estimator
+    layer dispatches via :mod:`repro.estimators._vectorized`) read
+    :attr:`step_sources` / :attr:`step_targets` directly and never
+    touch the list views.
     """
 
     def __init__(
@@ -85,6 +90,7 @@ class ArrayWalkTrace(WalkTrace):
         self._edges: Optional[List[Edge]] = None
         self._per_walker: Optional[List[List[Edge]]] = None
         self._walker_indices: Optional[List[int]] = None
+        self._visited_vertices: Optional[List[int]] = None
 
     @property
     def edges(self) -> List[Edge]:
@@ -131,7 +137,9 @@ class ArrayWalkTrace(WalkTrace):
 
     @property
     def visited_vertices(self) -> List[int]:
-        return self.step_targets.tolist()
+        if self._visited_vertices is None:
+            self._visited_vertices = self.step_targets.tolist()
+        return self._visited_vertices
 
     def spent(self) -> float:
         return (

@@ -112,3 +112,48 @@ class TestResultHelpers:
     def test_tail_threshold_too_high_rejected(self, result):
         with pytest.raises(ValueError):
             result.tail_mean_error("FS", 10_000_000)
+
+
+class TestBackendThreading:
+    def test_csr_backend_runs_end_to_end(self, small_graph):
+        """backend="csr" pins the fast path for the whole experiment."""
+        from repro.sampling.base import get_default_backend
+
+        result = degree_error_experiment(
+            small_graph,
+            {"FS": FrontierSampler(10), "SingleRW": SingleRandomWalk()},
+            budget=100,
+            runs=4,
+            root_seed=1,
+            metric="ccdf",
+            backend="csr",
+        )
+        assert set(result.curves) == {"FS", "SingleRW"}
+        assert all(result.curves[m] for m in result.curves)
+        assert get_default_backend() == "list"  # restored afterwards
+
+    def test_backends_agree_statistically(self, small_graph):
+        """Same chain law on both backends: comparable mean errors."""
+        samplers = {"FS": FrontierSampler(10)}
+        results = {
+            backend: degree_error_experiment(
+                small_graph,
+                samplers,
+                budget=400,
+                runs=12,
+                root_seed=3,
+                backend=backend,
+            ).mean_error("FS")
+            for backend in ("list", "csr")
+        }
+        assert results["csr"] == pytest.approx(results["list"], rel=1.0)
+
+    def test_invalid_backend_rejected(self, small_graph):
+        with pytest.raises(ValueError):
+            degree_error_experiment(
+                small_graph,
+                {"FS": FrontierSampler(10)},
+                budget=100,
+                runs=2,
+                backend="gpu",
+            )

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Lint markdown link targets: every relative link must resolve.
+
+Usage:  python tools/check_markdown_links.py [FILE ...]
+
+With no arguments, checks every tracked-looking markdown file: the
+repo root's ``*.md`` plus ``docs/**/*.md``.  External links
+(``http(s)://``, ``mailto:``) and pure in-page anchors (``#...``) are
+skipped; a relative target is resolved against the linking file's
+directory and must exist (anchors are stripped first).  Exits non-zero
+listing every broken link, so CI can gate on it.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: Inline links ``[text](target)``; images share the same form.
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def broken_links(path: Path) -> list[str]:
+    problems = []
+    for number, line in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        for target in LINK.findall(line):
+            if target.startswith(SKIP_PREFIXES):
+                continue
+            bare = target.split("#", 1)[0]
+            # GitHub resolves /-leading targets against the repo root,
+            # not the filesystem root.
+            base = REPO_ROOT if bare.startswith("/") else path.parent
+            if not (base / bare.lstrip("/")).exists():
+                problems.append(f"{path}:{number}: broken link -> {target}")
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    if argv:
+        files = [Path(argument) for argument in argv]
+    else:
+        root = Path(__file__).resolve().parent.parent
+        files = sorted(root.glob("*.md")) + sorted(root.glob("docs/**/*.md"))
+    missing = [path for path in files if not path.is_file()]
+    if missing:
+        for path in missing:
+            print(f"no such markdown file: {path}", file=sys.stderr)
+        return 2
+    problems = [
+        problem for path in files for problem in broken_links(path)
+    ]
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    print(
+        f"checked {len(files)} markdown file(s):"
+        f" {len(problems)} broken link(s)"
+    )
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
