@@ -36,6 +36,18 @@ NUM_STEPS = max(2_000, int(100_000 * SCALE))
 DIMENSION = 64
 SPEEDUP_FLOOR = 5.0
 ESTIMATOR_SPEEDUP_FLOOR = 10.0
+#: A chunked session advance may cost at most this much of one-shot
+#: sample() — the anytime protocol must not tax the kernel hot path.
+SESSION_OVERHEAD_CEILING = 1.3
+#: Stride scales with the step count so the gate always exercises
+#: ~12 advances — a fixed stride would collapse to a single (gate-less)
+#: advance at CI's reduced REPRO_BENCH_SCALE.
+SESSION_CHUNKS = 12
+SESSION_CHUNK = max(256, NUM_STEPS // SESSION_CHUNKS)
+#: At smoke scale the walk itself takes ~0.3 ms, so fixed per-advance
+#: costs (one kernel invocation, chunk bookkeeping) dominate any ratio;
+#: there the gate bounds the absolute overhead per advance instead.
+PER_ADVANCE_OVERHEAD_CEILING = 150e-6  # seconds
 
 
 @pytest.fixture(scope="module")
@@ -59,6 +71,18 @@ def run_list_backend(graph, seeds):
 def run_csr_backend(graph, seeds):
     sampler = FrontierSampler(DIMENSION, backend="csr")
     return sampler.sample_from(get_csr(graph), seeds, NUM_STEPS, rng=7)
+
+
+def run_csr_session(graph, seeds):
+    """The same walk, advanced through a session in array-sized strides."""
+    sampler = FrontierSampler(DIMENSION, backend="csr")
+    session = sampler.start(get_csr(graph), rng=7, initial_vertices=seeds)
+    remaining = NUM_STEPS
+    while remaining:
+        stride = min(SESSION_CHUNK, remaining)
+        session.advance(stride)
+        remaining -= stride
+    return session.trace()
 
 
 def test_fs_list_backend(benchmark, ba_graph, walker_seeds):
@@ -113,6 +137,74 @@ def test_csr_backend_speedup(ba_graph, walker_seeds, save_result):
     assert speedup >= SPEEDUP_FLOOR, (
         f"csr backend regressed: only {speedup:.1f}x faster than the"
         f" list backend (floor {SPEEDUP_FLOOR}x)"
+    )
+
+
+def test_fs_session_overhead(benchmark, ba_graph, walker_seeds, save_result):
+    """Chunked session advance vs one-shot sample on the same FS walk.
+
+    The incremental protocol (seed once, then ``advance`` in
+    ``SESSION_CHUNK``-step strides, then materialize the trace) must
+    stay within ``SESSION_OVERHEAD_CEILING`` of the single-kernel-call
+    path — and, the draw protocol being chunking-invariant, produce the
+    bit-identical trace.
+    """
+    session_trace = run_csr_session(ba_graph, walker_seeds)
+    one_shot_trace = run_csr_backend(ba_graph, walker_seeds)
+    assert session_trace.num_steps == NUM_STEPS
+    assert (
+        session_trace.step_sources == one_shot_trace.step_sources
+    ).all()
+    assert (
+        session_trace.step_targets == one_shot_trace.step_targets
+    ).all()
+    assert (
+        session_trace.step_walkers == one_shot_trace.step_walkers
+    ).all()
+
+    def best_of(repeats, fn):
+        timings = []
+        for _ in range(repeats):
+            started = time.perf_counter()
+            fn(ba_graph, walker_seeds)
+            timings.append(time.perf_counter() - started)
+        return min(timings)
+
+    benchmark.pedantic(
+        run_csr_session, args=(ba_graph, walker_seeds), rounds=3,
+        iterations=1,
+    )
+    one_shot_seconds = best_of(5, run_csr_backend)
+    session_seconds = best_of(5, run_csr_session)
+    overhead = session_seconds / one_shot_seconds
+    chunks = -(-NUM_STEPS // SESSION_CHUNK)
+    per_advance = max(0.0, session_seconds - one_shot_seconds) / chunks
+    save_result(
+        "session_overhead",
+        "\n".join(
+            [
+                f"FS session overhead ({NUM_STEPS} steps, m={DIMENSION},"
+                f" chunk={SESSION_CHUNK} x{chunks}, BA n={NUM_VERTICES})",
+                f"  one-shot sample(): {one_shot_seconds * 1e3:.2f} ms",
+                f"  chunked session:   {session_seconds * 1e3:.2f} ms",
+                f"  overhead: {overhead:.2f}x"
+                f" (ceiling {SESSION_OVERHEAD_CEILING}x)"
+                f" / {per_advance * 1e6:.0f} us per advance"
+                f" (ceiling {PER_ADVANCE_OVERHEAD_CEILING * 1e6:.0f} us)",
+            ]
+        ),
+    )
+    # At full scale the relative ceiling bites; at smoke scale the walk
+    # is so short that only the absolute per-advance bound is
+    # meaningful.  A regression must clear BOTH to ship.
+    assert (
+        overhead <= SESSION_OVERHEAD_CEILING
+        or per_advance <= PER_ADVANCE_OVERHEAD_CEILING
+    ), (
+        f"chunked session advance costs {overhead:.2f}x one-shot"
+        f" sample() (ceiling {SESSION_OVERHEAD_CEILING}x) and"
+        f" {per_advance * 1e6:.0f} us per advance (ceiling"
+        f" {PER_ADVANCE_OVERHEAD_CEILING * 1e6:.0f} us)"
     )
 
 

@@ -23,6 +23,11 @@ vectorized numpy implementation in
 :mod:`repro.estimators._vectorized`; handed a list-backed
 :class:`~repro.sampling.base.WalkTrace`, it runs the original
 tuple loop.  The two paths agree to ~1e-12.
+
+For anytime estimation over incremental sampling sessions, the
+``Streaming*`` accumulators in :mod:`repro.estimators.streaming`
+consume trace *increments* (``session.take_trace()``) in O(chunk) and
+agree with their batch twins to ≤1e-12.
 """
 
 from repro.estimators.assortativity import (
@@ -55,6 +60,16 @@ from repro.estimators.functionals import (
     vertex_functional_from_trace,
     weighted_vertex_sums,
 )
+from repro.estimators.streaming import (
+    StreamingAverageDegree,
+    StreamingDegreePMF,
+    StreamingEdgeDensity,
+    StreamingEdgeFunctional,
+    StreamingEstimator,
+    StreamingGraphSize,
+    StreamingVertexDensity,
+    StreamingVertexFunctional,
+)
 from repro.estimators.vertex_density import (
     vertex_label_densities_from_trace,
     vertex_label_density_from_trace,
@@ -62,6 +77,14 @@ from repro.estimators.vertex_density import (
 )
 
 __all__ = [
+    "StreamingAverageDegree",
+    "StreamingDegreePMF",
+    "StreamingEdgeDensity",
+    "StreamingEdgeFunctional",
+    "StreamingEstimator",
+    "StreamingGraphSize",
+    "StreamingVertexDensity",
+    "StreamingVertexFunctional",
     "assortativity_from_trace",
     "degree_ccdf_from_trace",
     "degree_ccdf_from_vertices",

@@ -162,6 +162,36 @@ def vertex_label_density(
     )
 
 
+def weighted_label_sums(
+    graph: GraphLike,
+    trace: ArrayWalkTrace,
+    labeling: VertexLabeling,
+    labels: Sequence[Label],
+) -> Tuple[Dict[Label, float], float]:
+    """Raw eq. (7) label sums: ``({label: sum 1/deg}, sum 1/deg)``.
+
+    The shared kernel behind both the batch label densities and the
+    streaming accumulator: per-step weights collapse to per-vertex
+    totals once, so each label costs an O(|unique|) dot, not an
+    O(num_steps) pass.
+    """
+    targets = trace.step_targets
+    inv_deg = 1.0 / degrees_of(graph)[targets]
+    normalizer = inv_deg.sum()
+    unique, inverse = np.unique(targets, return_inverse=True)
+    per_vertex = np.bincount(inverse, weights=inv_deg)
+    label_sets = [labeling.labels_of(int(v)) for v in unique]
+    sums: Dict[Label, float] = {}
+    for label in labels:
+        indicator = np.fromiter(
+            (label in labels_of_v for labels_of_v in label_sets),
+            dtype=np.float64,
+            count=unique.size,
+        )
+        sums[label] = float((indicator * per_vertex).sum())
+    return sums, float(normalizer)
+
+
 def vertex_label_densities(
     graph: GraphLike,
     trace: ArrayWalkTrace,
@@ -170,23 +200,8 @@ def vertex_label_densities(
 ) -> Dict[Label, float]:
     """Many label densities sharing one normalizer ``S``."""
     _require_steps(trace)
-    targets = trace.step_targets
-    inv_deg = 1.0 / degrees_of(graph)[targets]
-    normalizer = inv_deg.sum()
-    unique, inverse = np.unique(targets, return_inverse=True)
-    # Collapse the per-step weights to per-vertex totals once; each
-    # label is then an O(|unique|) dot, not an O(num_steps) pass.
-    per_vertex = np.bincount(inverse, weights=inv_deg)
-    label_sets = [labeling.labels_of(int(v)) for v in unique]
-    out: Dict[Label, float] = {}
-    for label in labels:
-        indicator = np.fromiter(
-            (label in labels_of_v for labels_of_v in label_sets),
-            dtype=np.float64,
-            count=unique.size,
-        )
-        out[label] = float((indicator * per_vertex).sum() / normalizer)
-    return out
+    sums, normalizer = weighted_label_sums(graph, trace, labeling, labels)
+    return {label: sums[label] / normalizer for label in labels}
 
 
 # ----------------------------------------------------------------------

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from contextlib import nullcontext
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Optional
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
 
 from repro.estimators.degree import (
     degree_ccdf_from_trace,
@@ -18,6 +18,8 @@ from repro.estimators.degree import (
     degree_pmf_from_trace,
     degree_pmf_from_vertices,
 )
+from repro.estimators.streaming import StreamingDegreePMF
+from repro.experiments.runner import replicate_incremental
 from repro.graph.graph import Graph
 from repro.metrics.errors import nmse_curve
 from repro.metrics.exact import true_degree_ccdf, true_degree_pmf
@@ -167,3 +169,143 @@ def degree_error_experiment(
                     estimates.append({})  # empty trace estimates zero mass
             result.curves[method] = nmse_curve(estimates, truth)
     return result
+
+
+# ----------------------------------------------------------------------
+# MSE-versus-budget curves from resumed sessions (Section 4.4)
+# ----------------------------------------------------------------------
+class _AnytimeRun:
+    """One replicate: a sampler session feeding a streaming estimator.
+
+    ``advance_budget`` extends the *same* walk and drains the new steps
+    into the accumulator, so each budget checkpoint costs only the
+    incremental steps — never a fresh walk.
+    """
+
+    def __init__(self, session, accumulator: StreamingDegreePMF):
+        self.session = session
+        self.accumulator = accumulator
+
+    def advance_budget(self, budget: float) -> None:
+        self.session.advance_budget(budget)
+        self.accumulator.update(self.session.take_trace())
+
+
+@dataclass
+class BudgetSweepResult:
+    """Per-budget error results plus the error-versus-budget summary."""
+
+    title: str
+    metric: str  # "ccdf" (CNMSE) or "pmf" (NMSE)
+    budgets: List[float]
+    runs: int
+    results: Dict[float, DegreeErrorResult] = field(default_factory=dict)
+
+    def at(self, budget: float) -> DegreeErrorResult:
+        """The full per-degree error result at one budget checkpoint."""
+        return self.results[float(budget)]
+
+    def mean_error_curve(self, method: str) -> Dict[float, float]:
+        """Budget -> mean error over the degree support, one method."""
+        return {
+            budget: self.results[budget].mean_error(method)
+            for budget in self.budgets
+        }
+
+    def render(self) -> str:
+        """ASCII table: one row per budget, one column per method."""
+        methods = sorted(self.results[self.budgets[0]].curves)
+        label = "CNMSE" if self.metric == "ccdf" else "NMSE"
+        lines = [
+            self.title,
+            f"  mean {label} over the degree support, {self.runs} runs,"
+            " one resumed session per replicate",
+            "  " + f"{'budget':>10} " + " ".join(f"{m:>14}" for m in methods),
+        ]
+        for budget in self.budgets:
+            cells = " ".join(
+                f"{self.results[budget].mean_error(m):>14.4f}"
+                for m in methods
+            )
+            lines.append("  " + f"{budget:>10.0f} " + cells)
+        return "\n".join(lines)
+
+
+def degree_error_budget_sweep(
+    graph: Graph,
+    samplers: Mapping[str, Sampler],
+    budgets: Sequence[float],
+    runs: int,
+    root_seed: int = 0,
+    degree_of: Optional[DegreeOf] = None,
+    metric: str = "ccdf",
+    title: str = "degree error budget sweep",
+    backend: Optional[Backend] = None,
+) -> BudgetSweepResult:
+    """Error curves at every budget in one anytime pass per replicate.
+
+    The Section 4.4 MSE-versus-budget experiment: instead of re-walking
+    the graph from scratch at each budget point, every replicate opens
+    one :class:`~repro.sampling.session.SamplerSession`, advances it to
+    each ascending budget checkpoint, and snapshots the estimate from a
+    :class:`~repro.estimators.streaming.StreamingDegreePMF` accumulator
+    fed the trace increments — identical statistics at the largest
+    budget for a fraction of the walking.
+    """
+    if metric not in ("ccdf", "pmf"):
+        raise ValueError(f"metric must be 'ccdf' or 'pmf', got {metric!r}")
+    checkpoints = [float(b) for b in budgets]
+    if not checkpoints or any(
+        b > a for b, a in zip(checkpoints, checkpoints[1:])
+    ):
+        raise ValueError(
+            f"budgets must be a non-empty ascending sequence, got {budgets}"
+        )
+    truth = (
+        true_degree_ccdf(graph, degree_of)
+        if metric == "ccdf"
+        else true_degree_pmf(graph, degree_of)
+    )
+    sweep = BudgetSweepResult(
+        title=title, metric=metric, budgets=checkpoints, runs=runs
+    )
+    for budget in checkpoints:
+        sweep.results[budget] = DegreeErrorResult(
+            title=f"{title} (B={budget:g})",
+            metric=metric,
+            budget=budget,
+            runs=runs,
+            truth=dict(truth),
+            average_degree=graph.average_degree(),
+        )
+    for method_index, (method, sampler) in enumerate(
+        sorted(samplers.items())
+    ):
+        def start(rng, sampler=sampler):
+            return _AnytimeRun(
+                sampler.start(graph, rng),
+                StreamingDegreePMF(graph, degree_of),
+            )
+
+        def measure(run, budget):
+            try:
+                if metric == "ccdf":
+                    return run.accumulator.ccdf()
+                return run.accumulator.estimate()
+            except ValueError:
+                return {}  # empty trace estimates zero mass
+
+        rows = replicate_incremental(
+            start,
+            measure,
+            checkpoints,
+            runs,
+            root_seed=root_seed + 7919 * method_index,
+            backend=backend,
+        )
+        for budget_index, budget in enumerate(checkpoints):
+            estimates = [row[budget_index] for row in rows]
+            sweep.results[budget].curves[method] = nmse_curve(
+                estimates, truth
+            )
+    return sweep

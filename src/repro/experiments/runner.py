@@ -20,12 +20,14 @@ along.
 from __future__ import annotations
 
 import random
-from typing import Callable, List, Optional, TypeVar
+from contextlib import nullcontext
+from typing import Callable, List, Optional, Sequence, TypeVar
 
 from repro.sampling.base import Backend, use_backend
 from repro.util.rng import child_rng
 
 T = TypeVar("T")
+S = TypeVar("S")
 
 
 def replicate(
@@ -45,3 +47,44 @@ def replicate(
         return [run(child_rng(root_seed, index)) for index in range(runs)]
     with use_backend(backend):
         return [run(child_rng(root_seed, index)) for index in range(runs)]
+
+
+def replicate_incremental(
+    start: Callable[[random.Random], S],
+    measure: Callable[[S, float], T],
+    budgets: Sequence[float],
+    runs: int,
+    root_seed: int = 0,
+    backend: Optional[Backend] = None,
+) -> List[List[T]]:
+    """Replicated *anytime* runs: one resumed session per replication.
+
+    For each of ``runs`` independent child RNGs, ``start(rng)`` opens a
+    :class:`~repro.sampling.session.SamplerSession` (or anything with
+    ``advance_budget``), which is then advanced through the ascending
+    ``budgets`` checkpoints; ``measure(session, budget)`` snapshots
+    whatever the experiment records at each one.  This is how
+    MSE-versus-budget curves (Section 4.4) are produced from a single
+    walk per replicate instead of re-walking every budget point from
+    scratch.
+
+    Returns ``result[run][i]`` = the measurement at ``budgets[i]``.
+    """
+    if runs < 1:
+        raise ValueError(f"runs must be >= 1, got {runs}")
+    checkpoints = [float(b) for b in budgets]
+    if not checkpoints:
+        raise ValueError("budgets must be non-empty")
+    if any(b > a for b, a in zip(checkpoints, checkpoints[1:])):
+        raise ValueError(f"budgets must be non-decreasing, got {budgets}")
+    context = use_backend(backend) if backend is not None else nullcontext()
+    results: List[List[T]] = []
+    with context:
+        for index in range(runs):
+            session = start(child_rng(root_seed, index))
+            row: List[T] = []
+            for budget in checkpoints:
+                session.advance_budget(budget)
+                row.append(measure(session, budget))
+            results.append(row)
+    return results

@@ -25,7 +25,12 @@ from repro.graph.components import (
 from repro.graph.csr import CSRGraph, get_csr
 from repro.graph.digraph import DiGraph
 from repro.graph.graph import Graph
-from repro.graph.io import read_edge_list, write_edge_list
+from repro.graph.io import (
+    load_csr_npy,
+    read_edge_list,
+    save_csr_npy,
+    write_edge_list,
+)
 from repro.graph.labels import EdgeLabeling, VertexLabeling
 from repro.graph.summary import GraphSummary, summarize
 
@@ -44,7 +49,9 @@ __all__ = [
     "induced_subgraph",
     "is_connected",
     "largest_connected_component",
+    "load_csr_npy",
     "read_edge_list",
+    "save_csr_npy",
     "summarize",
     "write_edge_list",
 ]

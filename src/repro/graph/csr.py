@@ -42,7 +42,12 @@ class CSRGraph:
 
     __slots__ = ("indptr", "indices", "_list_cache")
 
-    def __init__(self, indptr: np.ndarray, indices: np.ndarray):
+    def __init__(
+        self,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        validate: bool = True,
+    ):
         indptr = np.ascontiguousarray(indptr, dtype=np.int64)
         indices = np.ascontiguousarray(indices, dtype=np.int64)
         if indptr.ndim != 1 or indices.ndim != 1:
@@ -54,17 +59,21 @@ class CSRGraph:
                 f"indptr[-1] ({int(indptr[-1])}) must equal"
                 f" len(indices) ({indices.size})"
             )
-        if np.any(np.diff(indptr) < 0):
-            raise ValueError("indptr must be non-decreasing")
-        if indices.size and (
-            indices.min() < 0 or indices.max() >= indptr.size - 1
-        ):
-            raise ValueError("indices contain out-of-range vertex ids")
         if indices.size % 2 != 0:
             raise ValueError(
                 "indices length must be even (both orientations of"
                 " every undirected edge)"
             )
+        # The O(n + |E|) content scans are skippable for trusted input:
+        # mmap'd loads of files this library wrote would otherwise page
+        # the entire indices file in before the first walk step.
+        if validate:
+            if np.any(np.diff(indptr) < 0):
+                raise ValueError("indptr must be non-decreasing")
+            if indices.size and (
+                indices.min() < 0 or indices.max() >= indptr.size - 1
+            ):
+                raise ValueError("indices contain out-of-range vertex ids")
         self.indptr = indptr
         self.indices = indices
         #: Lazily cached plain-list views for the pure-Python fallback

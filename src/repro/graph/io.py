@@ -1,13 +1,21 @@
-"""Edge-list I/O in the format used by SNAP-style datasets.
+"""Graph I/O: SNAP-style edge lists and mmap-able binary CSR files.
 
-Lines are ``u<whitespace>v``; ``#`` starts a comment.  Both directed
-and undirected graphs round-trip through the same text format.
+Edge-list lines are ``u<whitespace>v``; ``#`` starts a comment.  Both
+directed and undirected graphs round-trip through the same text format.
 
 ``backend="csr"`` loads an undirected edge list straight into a
 :class:`~repro.graph.csr.CSRGraph`: one pass over the file into flat
 numpy arrays, then a vectorized counting-sort build — no intermediate
 per-vertex adjacency lists or sets, which is what makes loading graphs
 with 10^7+ edges feasible.
+
+For graphs bigger than RAM, :func:`save_csr_npy` persists a CSR graph
+as two sibling binary files — ``<stem>.indptr.npy`` and
+``<stem>.indices.npy``, plain ``np.save`` format, int64, C-order (the
+layout documented in ``docs/architecture.md``) — and
+:func:`load_csr_npy` reopens them with ``np.load(..., mmap_mode="r")``
+so the kernel pages neighbor rows in on demand.  ``.npy`` rather than
+``.npz`` because zip members cannot be mmap'd.
 """
 
 from __future__ import annotations
@@ -17,7 +25,7 @@ from typing import Iterator, Optional, Tuple, Union
 
 import numpy as np
 
-from repro.graph.csr import CSRGraph
+from repro.graph.csr import CSRGraph, get_csr
 from repro.graph.digraph import DiGraph
 from repro.graph.graph import Graph
 from repro.util.backends import check_backend_name
@@ -76,6 +84,60 @@ def read_edge_list(
     if directed:
         return DiGraph.from_edges(edges, num_vertices=num_vertices)
     return Graph.from_edges(edges, num_vertices=num_vertices)
+
+
+def _csr_paths(stem: PathLike) -> Tuple[Path, Path]:
+    stem = Path(stem)
+    return (
+        stem.with_name(stem.name + ".indptr.npy"),
+        stem.with_name(stem.name + ".indices.npy"),
+    )
+
+
+def save_csr_npy(
+    graph: Union[Graph, CSRGraph], stem: PathLike
+) -> Tuple[Path, Path]:
+    """Persist ``graph`` as ``<stem>.indptr.npy`` + ``<stem>.indices.npy``.
+
+    Plain ``np.save`` format, int64, C-order — the mmap-able CSR layout.
+    An adjacency-list :class:`Graph` is converted first (neighbor order
+    preserved, so walks over the reloaded graph match walks over the
+    original).  Returns the two paths written.
+    """
+    csr = get_csr(graph)
+    indptr_path, indices_path = _csr_paths(stem)
+    np.save(indptr_path, np.ascontiguousarray(csr.indptr, dtype=np.int64))
+    np.save(indices_path, np.ascontiguousarray(csr.indices, dtype=np.int64))
+    return indptr_path, indices_path
+
+
+def load_csr_npy(
+    stem: PathLike, mmap: bool = True, validate: Optional[bool] = None
+) -> CSRGraph:
+    """Reopen a graph written by :func:`save_csr_npy`.
+
+    With ``mmap=True`` (default) the arrays are memory-mapped read-only
+    (``np.load(..., mmap_mode="r")``): the file is paged in lazily by
+    the OS, so graphs larger than RAM can be walked — the batch kernels
+    only ever touch the rows the walkers visit.  ``mmap=False`` reads
+    both arrays into memory.
+
+    ``validate`` controls the O(|E|) content scan of
+    :class:`CSRGraph.__init__`.  The default (``None``) validates
+    in-memory loads but skips the scan for mmap'd ones — running it
+    would page the entire indices file in before the first walk step,
+    defeating the point of mmap.  Pass ``validate=True`` when opening
+    files from an untrusted source (a corrupt indices array would
+    otherwise reach the native kernels unchecked), or ``False`` to
+    skip the scan even in memory.
+    """
+    indptr_path, indices_path = _csr_paths(stem)
+    mode = "r" if mmap else None
+    indptr = np.load(indptr_path, mmap_mode=mode)
+    indices = np.load(indices_path, mmap_mode=mode)
+    if validate is None:
+        validate = not mmap
+    return CSRGraph(indptr, indices, validate=validate)
 
 
 def write_edge_list(

@@ -30,6 +30,7 @@ from repro.sampling.base import (
     get_default_backend,
     set_default_backend,
     stationary_seeds,
+    steps_within_budget,
     uniform_seeds,
     use_backend,
 )
@@ -38,6 +39,7 @@ from repro.sampling.frontier import FrontierSampler
 from repro.sampling.independent import RandomEdgeSampler, RandomVertexSampler
 from repro.sampling.metropolis import MetropolisHastingsWalk
 from repro.sampling.multiple import MultipleRandomWalk
+from repro.sampling.session import SamplerSession, load_session
 from repro.sampling.single import SingleRandomWalk
 from repro.sampling.vectorized import (
     ArrayMetropolisTrace,
@@ -56,14 +58,17 @@ __all__ = [
     "RandomEdgeSampler",
     "RandomVertexSampler",
     "Sampler",
+    "SamplerSession",
     "SeedingMode",
     "SingleRandomWalk",
     "VertexTrace",
     "WalkTrace",
     "batch_walk_positions",
     "get_default_backend",
+    "load_session",
     "set_default_backend",
     "stationary_seeds",
+    "steps_within_budget",
     "uniform_seeds",
     "use_backend",
 ]

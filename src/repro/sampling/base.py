@@ -159,18 +159,39 @@ class VertexTrace:
 
 
 class Sampler(abc.ABC):
-    """A sampling method runnable on any :class:`Graph`."""
+    """A sampling method runnable on any :class:`Graph`.
+
+    The primary entry point is :meth:`start`, which returns a
+    :class:`~repro.sampling.session.SamplerSession` — a resumable,
+    incremental run whose walkers keep their state between calls.
+    :meth:`sample` is a thin convenience wrapper (start, advance to the
+    budget, return the trace) kept for one-shot callers; both paths
+    consume the random stream identically, so ``sample`` produces the
+    exact trace the pre-session API did.
+    """
 
     #: Human-readable method name used in result tables.
     name: str = "sampler"
 
     @abc.abstractmethod
+    def start(self, graph: Graph, rng: RngLike = None):
+        """Begin an incremental sampling session on ``graph``.
+
+        Draws the initial walker positions (paying their ``seed_cost``)
+        and returns a :class:`~repro.sampling.session.SamplerSession`
+        ready to :meth:`~repro.sampling.session.SamplerSession.advance`.
+        """
+
     def sample(self, graph: Graph, budget: float, rng: RngLike = None):
         """Spend ``budget`` vertex-query units sampling ``graph``.
 
-        Returns a :class:`WalkTrace` or :class:`VertexTrace` depending
-        on the method.
+        Equivalent to ``start(graph, rng)`` followed by one
+        ``advance_budget(budget)``; returns the session's
+        :class:`WalkTrace` or :class:`VertexTrace`.
         """
+        session = self.start(graph, rng=rng)
+        session.advance_budget(budget)
+        return session.trace()
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"
@@ -229,6 +250,28 @@ def make_seeds(
     )
 
 
+def check_pinned_seeds(initial_vertices, dimension: int) -> None:
+    """Validate explicitly pinned walker seeds against the dimension.
+
+    Shared by FS and DFS ``start(initial_vertices=...)`` so the
+    pinned-seed contract lives in one place.
+    """
+    if len(initial_vertices) != dimension:
+        raise ValueError(
+            f"expected {dimension} initial vertices,"
+            f" got {len(initial_vertices)}"
+        )
+
+
+def require_walkable_seeds(
+    graph, vertices, reason: str = "cannot walk from it"
+) -> None:
+    """Raise if any seed is isolated (works on either graph backend)."""
+    for v in vertices:
+        if graph.degree(v) == 0:
+            raise ValueError(f"initial vertex {v} is isolated; {reason}")
+
+
 def check_seeding(mode: SeedingMode) -> SeedingMode:
     """Validate a seeding mode early (at sampler construction)."""
     if mode not in _VALID_SEEDING:
@@ -238,18 +281,48 @@ def check_seeding(mode: SeedingMode) -> SeedingMode:
     return mode
 
 
-def walk_steps(budget: float, num_walkers: int, seed_cost: float) -> int:
-    """Steps left after paying for seeds: ``B - m*c``, floored at 0.
+def steps_within_budget(
+    budget: float,
+    num_walkers: int = 1,
+    seed_cost: float = 1.0,
+    split: bool = False,
+) -> int:
+    """The audited budget→steps rule every sampler and session shares.
 
-    Matches the paper's accounting in Algorithm 1 (``until n >= B - mc``)
-    and Section 4.4 (each MultipleRW walker performs ``B/m - c`` steps).
+    Budget semantics follow the paper (Section 2): each of the ``m``
+    walkers' seeds costs ``c = seed_cost`` and every walk step costs one
+    unit.
+
+    - ``split=False`` (coordinated walkers — SingleRW, FS, DFS, MRW):
+      the walkers share the budget, so the *total* step allowance is
+      ``int(B - m*c)``, floored at 0 (Algorithm 1's ``until n >= B - mc``).
+    - ``split=True`` (independent walkers — MultipleRW): the budget is
+      divided evenly and each walker pays its own seed, so the
+      *per-walker* allowance is ``int(B/m - c)``, floored at 0
+      (Section 4.4).
+
+    Truncation (not rounding) matches a crawler that cannot afford a
+    fraction of a query; fractional budgets and seed costs are
+    therefore legal inputs and simply leave change unspent.
     """
     if budget < 0:
         raise ValueError(f"budget must be >= 0, got {budget}")
+    if num_walkers < 1:
+        raise ValueError(f"num_walkers must be >= 1, got {num_walkers}")
     if seed_cost < 0:
         raise ValueError(f"seed_cost must be >= 0, got {seed_cost}")
-    remaining = budget - num_walkers * seed_cost
-    return max(0, int(remaining))
+    if split:
+        return max(0, int(budget / num_walkers - seed_cost))
+    return max(0, int(budget - num_walkers * seed_cost))
+
+
+def walk_steps(budget: float, num_walkers: int, seed_cost: float) -> int:
+    """Total steps for walkers sharing a budget: ``int(B - m*c)``.
+
+    Thin alias of :func:`steps_within_budget` kept for callers of the
+    historical name.
+    """
+    return steps_within_budget(budget, num_walkers, seed_cost)
 
 
 def multiple_walk_steps(
@@ -257,8 +330,7 @@ def multiple_walk_steps(
 ) -> int:
     """Steps *per walker* for independent walkers splitting a budget.
 
-    ``floor(B/m - c)`` as in Section 4.4, floored at zero.  Shared by
-    both backends of MultipleRW so their paper accounting can never
-    drift apart.
+    Thin alias of :func:`steps_within_budget(..., split=True)` kept for
+    callers of the historical name.
     """
-    return max(0, int(budget / num_walkers - seed_cost))
+    return steps_within_budget(budget, num_walkers, seed_cost, split=True)

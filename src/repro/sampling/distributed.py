@@ -15,20 +15,14 @@ collector would observe.
 
 from __future__ import annotations
 
-import heapq
-from typing import List, Tuple
-
 from repro.graph.graph import Graph
 from repro.sampling.base import (
-    Edge,
     Sampler,
     SeedingMode,
-    WalkTrace,
+    check_pinned_seeds,
     check_seeding,
-    make_seeds,
-    walk_steps,
 )
-from repro.util.rng import RngLike, ensure_rng
+from repro.util.rng import RngLike
 
 
 class DistributedFrontierSampler(Sampler):
@@ -56,51 +50,24 @@ class DistributedFrontierSampler(Sampler):
             raise ValueError(f"seed_cost must be >= 0, got {seed_cost}")
         self.seed_cost = seed_cost
 
-    def sample(
-        self, graph: Graph, budget: float, rng: RngLike = None
-    ) -> WalkTrace:
-        generator = ensure_rng(rng)
-        seeds = make_seeds(graph, self.dimension, self.seeding, generator)
-        steps = walk_steps(budget, self.dimension, self.seed_cost)
-        edges, per_walker, indices = self._run(graph, seeds, steps, generator)
-        return WalkTrace(
-            method=self.name,
-            edges=edges,
-            initial_vertices=seeds,
-            budget=budget,
-            seed_cost=self.seed_cost,
-            per_walker=per_walker,
-            walker_indices=indices,
-        )
+    def start(
+        self,
+        graph: Graph,
+        rng: RngLike = None,
+        initial_vertices=None,
+    ):
+        """Seed the clocked walkers and return their incremental session.
 
-    def _run(self, graph, seeds, steps, rng):
-        positions = list(seeds)
-        for v in positions:
-            if graph.degree(v) == 0:
-                raise ValueError(
-                    f"initial vertex {v} is isolated; cannot walk from it"
-                )
-        # Event queue of (next_jump_time, walker_index).  The tuple's
-        # second element breaks ties deterministically.
-        queue: List[Tuple[float, int]] = []
-        now = 0.0
-        for i, v in enumerate(positions):
-            holding = rng.expovariate(graph.degree(v))
-            heapq.heappush(queue, (now + holding, i))
-        edges: List[Edge] = []
-        per_walker: List[List[Edge]] = [[] for _ in positions]
-        indices: List[int] = []
-        for _ in range(steps):
-            now, idx = heapq.heappop(queue)
-            u = positions[idx]
-            v = graph.random_neighbor(u, rng)
-            edges.append((u, v))
-            per_walker[idx].append((u, v))
-            indices.append(idx)
-            positions[idx] = v
-            holding = rng.expovariate(graph.degree(v))
-            heapq.heappush(queue, (now + holding, idx))
-        return edges, per_walker, indices
+        ``initial_vertices`` pins the walkers to explicit positions
+        instead of drawing seeds (used by FS-equivalence experiments).
+        """
+        from repro.sampling.session import DistributedWalkSession
+
+        if initial_vertices is not None:
+            check_pinned_seeds(initial_vertices, self.dimension)
+        return DistributedWalkSession(
+            self, graph, rng, initial_vertices=initial_vertices
+        )
 
     def __repr__(self) -> str:
         return (

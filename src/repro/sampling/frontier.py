@@ -14,24 +14,20 @@ step costs O(log m) regardless of the frontier dimension.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro.graph.graph import Graph
-from repro.sampling import vectorized
 from repro.sampling.base import (
     Backend,
-    Edge,
     Sampler,
     SeedingMode,
     WalkTrace,
     check_backend,
+    check_pinned_seeds,
     check_seeding,
-    make_seeds,
     resolve_backend,
-    walk_steps,
 )
-from repro.util.fenwick import FenwickTree
-from repro.util.rng import RngLike, ensure_rng
+from repro.util.rng import RngLike
 
 
 class FrontierSampler(Sampler):
@@ -71,34 +67,30 @@ class FrontierSampler(Sampler):
         self.walker_selection = walker_selection
         self.backend = check_backend(backend)
 
-    def sample(
-        self, graph: Graph, budget: float, rng: RngLike = None
-    ) -> WalkTrace:
-        if resolve_backend(self.backend, graph) == "csr":
-            return vectorized.sample_frontier(
-                graph,
-                self.dimension,
-                budget,
-                seeding=self.seeding,
-                seed_cost=self.seed_cost,
-                walker_selection=self.walker_selection,
-                rng=rng,
-                method=self.name,
-            )
-        generator = ensure_rng(rng)
-        seeds = make_seeds(graph, self.dimension, self.seeding, generator)
-        steps = walk_steps(budget, self.dimension, self.seed_cost)
-        edges, per_walker, indices = self._run(
-            graph, list(seeds), steps, generator
+    def start(
+        self,
+        graph: Graph,
+        rng: RngLike = None,
+        initial_vertices: Optional[Sequence[int]] = None,
+    ):
+        """Seed the frontier and return its incremental session.
+
+        ``initial_vertices`` pins the frontier to explicit positions
+        instead of drawing seeds (no seed uniforms are consumed then).
+        """
+        from repro.sampling.session import (
+            ArrayFrontierSession,
+            FrontierWalkSession,
         )
-        return WalkTrace(
-            method=self.name,
-            edges=edges,
-            initial_vertices=seeds,
-            budget=budget,
-            seed_cost=self.seed_cost,
-            per_walker=per_walker,
-            walker_indices=indices,
+
+        if initial_vertices is not None:
+            check_pinned_seeds(initial_vertices, self.dimension)
+        if resolve_backend(self.backend, graph) == "csr":
+            return ArrayFrontierSession(
+                self, graph, rng, initial_vertices=initial_vertices
+            )
+        return FrontierWalkSession(
+            self, graph, rng, initial_vertices=initial_vertices
         )
 
     def sample_from(
@@ -112,60 +104,11 @@ class FrontierSampler(Sampler):
 
         Used by experiments that pin FS and MultipleRW to the *same*
         seeds (Figures 6 and 9) and by the chain-level verification
-        tests.
+        tests.  One session, one advance.
         """
-        if len(initial_vertices) != self.dimension:
-            raise ValueError(
-                f"expected {self.dimension} initial vertices,"
-                f" got {len(initial_vertices)}"
-            )
-        if resolve_backend(self.backend, graph) == "csr":
-            return vectorized.frontier_trace_from(
-                graph,
-                initial_vertices,
-                num_steps,
-                seed_cost=self.seed_cost,
-                walker_selection=self.walker_selection,
-                rng=rng,
-                method=self.name,
-            )
-        generator = ensure_rng(rng)
-        edges, per_walker, indices = self._run(
-            graph, list(initial_vertices), num_steps, generator
-        )
-        return WalkTrace(
-            method=self.name,
-            edges=edges,
-            initial_vertices=list(initial_vertices),
-            budget=num_steps + self.seed_cost * self.dimension,
-            seed_cost=self.seed_cost,
-            per_walker=per_walker,
-            walker_indices=indices,
-        )
-
-    def _run(self, graph, frontier, steps, rng):
-        for v in frontier:
-            if graph.degree(v) == 0:
-                raise ValueError(
-                    f"initial vertex {v} is isolated; FS cannot walk from it"
-                )
-        weights = FenwickTree([float(graph.degree(v)) for v in frontier])
-        edges: List[Edge] = []
-        per_walker: List[List[Edge]] = [[] for _ in frontier]
-        indices: List[int] = []
-        for _ in range(steps):
-            if self.walker_selection == "degree":
-                idx = weights.sample(rng)
-            else:
-                idx = rng.randrange(len(frontier))
-            u = frontier[idx]
-            v = graph.random_neighbor(u, rng)
-            edges.append((u, v))
-            per_walker[idx].append((u, v))
-            indices.append(idx)
-            frontier[idx] = v
-            weights.update(idx, float(graph.degree(v)))
-        return edges, per_walker, indices
+        session = self.start(graph, rng, initial_vertices=initial_vertices)
+        session.advance(num_steps)
+        return session.trace()
 
     def __repr__(self) -> str:
         return (

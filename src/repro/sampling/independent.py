@@ -15,17 +15,9 @@ the situation a crawler faces.
 
 from __future__ import annotations
 
-from typing import List
-
 from repro.graph.graph import Graph
-from repro.sampling.base import (
-    Edge,
-    Sampler,
-    VertexTrace,
-    WalkTrace,
-)
-from repro.util.alias import AliasTable
-from repro.util.rng import RngLike, ensure_rng
+from repro.sampling.base import Sampler
+from repro.util.rng import RngLike
 
 
 class RandomVertexSampler(Sampler):
@@ -42,23 +34,11 @@ class RandomVertexSampler(Sampler):
             raise ValueError(f"hit_ratio must be in (0, 1], got {hit_ratio}")
         self.hit_ratio = hit_ratio
 
-    def sample(
-        self, graph: Graph, budget: float, rng: RngLike = None
-    ) -> VertexTrace:
-        generator = ensure_rng(rng)
-        if graph.num_vertices == 0:
-            raise ValueError("graph has no vertices")
-        vertices: List[int] = []
-        probes = int(budget)
-        for _ in range(probes):
-            if self.hit_ratio >= 1.0 or generator.random() < self.hit_ratio:
-                vertices.append(graph.random_vertex(generator))
-        return VertexTrace(
-            method=self.name,
-            vertices=vertices,
-            budget=budget,
-            cost_per_sample=1.0 / self.hit_ratio,
-        )
+    def start(self, graph: Graph, rng: RngLike = None):
+        """Return an incremental probe session (one probe per unit)."""
+        from repro.sampling.session import VertexSampleSession
+
+        return VertexSampleSession(self, graph, rng)
 
     def __repr__(self) -> str:
         return f"RandomVertexSampler(hit_ratio={self.hit_ratio})"
@@ -86,30 +66,11 @@ class RandomEdgeSampler(Sampler):
         self.hit_ratio = hit_ratio
         self.cost_per_edge = cost_per_edge
 
-    def sample(
-        self, graph: Graph, budget: float, rng: RngLike = None
-    ) -> WalkTrace:
-        generator = ensure_rng(rng)
-        if graph.num_edges == 0:
-            raise ValueError("graph has no edges")
-        degree_table = AliasTable(graph.degrees())
-        edges: List[Edge] = []
-        attempts = int(budget / self.cost_per_edge)
-        for _ in range(attempts):
-            if self.hit_ratio < 1.0 and generator.random() >= self.hit_ratio:
-                continue
-            # u proportional to degree then uniform neighbor == uniform
-            # over directed edges.
-            u = degree_table.sample(generator)
-            v = graph.random_neighbor(u, generator)
-            edges.append((u, v))
-        return WalkTrace(
-            method=self.name,
-            edges=edges,
-            initial_vertices=[],
-            budget=budget,
-            seed_cost=0.0,
-        )
+    def start(self, graph: Graph, rng: RngLike = None):
+        """Return an incremental attempt session (``cost_per_edge`` each)."""
+        from repro.sampling.session import EdgeSampleSession
+
+        return EdgeSampleSession(self, graph, rng)
 
     def __repr__(self) -> str:
         return (

@@ -16,20 +16,16 @@ from __future__ import annotations
 from typing import List, Optional
 
 from repro.graph.graph import Graph
-from repro.sampling import vectorized
 from repro.sampling.base import (
     Backend,
-    Edge,
     Sampler,
     SeedingMode,
     WalkTrace,
     check_backend,
     check_seeding,
-    make_seeds,
     resolve_backend,
-    walk_steps,
 )
-from repro.util.rng import RngLike, ensure_rng
+from repro.util.rng import RngLike
 
 
 class MetropolisHastingsWalk(Sampler):
@@ -57,40 +53,16 @@ class MetropolisHastingsWalk(Sampler):
         self.seed_cost = seed_cost
         self.backend = check_backend(backend)
 
-    def sample(
-        self, graph: Graph, budget: float, rng: RngLike = None
-    ) -> "MetropolisTrace":
-        if resolve_backend(self.backend, graph) == "csr":
-            return vectorized.sample_metropolis(
-                graph,
-                budget,
-                seeding=self.seeding,
-                seed_cost=self.seed_cost,
-                rng=rng,
-                method=self.name,
-            )
-        generator = ensure_rng(rng)
-        start = make_seeds(graph, 1, self.seeding, generator)[0]
-        steps = walk_steps(budget, 1, self.seed_cost)
-        visited: List[int] = []
-        edges: List[Edge] = []
-        current = start
-        for _ in range(steps):
-            proposal = graph.random_neighbor(current, generator)
-            accept = graph.degree(current) / graph.degree(proposal)
-            if generator.random() < accept:
-                edges.append((current, proposal))
-                current = proposal
-            visited.append(current)
-        trace = MetropolisTrace(
-            method=self.name,
-            edges=edges,
-            initial_vertices=[start],
-            budget=budget,
-            seed_cost=self.seed_cost,
+    def start(self, graph: Graph, rng: RngLike = None):
+        """Seed the MH walker and return its incremental session."""
+        from repro.sampling.session import (
+            ArrayMetropolisSession,
+            MetropolisWalkSession,
         )
-        trace.visited = visited
-        return trace
+
+        if resolve_backend(self.backend, graph) == "csr":
+            return ArrayMetropolisSession(self, graph, rng)
+        return MetropolisWalkSession(self, graph, rng)
 
     def __repr__(self) -> str:
         return (

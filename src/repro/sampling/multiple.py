@@ -10,24 +10,19 @@ failure mode Figures 1, 5 and 9 exhibit.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Optional
 
 from repro.graph.graph import Graph
-from repro.sampling import vectorized
 from repro.sampling.base import (
     Backend,
-    Edge,
     Sampler,
     SeedingMode,
-    WalkTrace,
     check_backend,
     check_seeding,
-    make_seeds,
     multiple_walk_steps,
     resolve_backend,
 )
-from repro.sampling.single import random_walk
-from repro.util.rng import RngLike, ensure_rng
+from repro.util.rng import RngLike
 
 
 class MultipleRandomWalk(Sampler):
@@ -55,36 +50,21 @@ class MultipleRandomWalk(Sampler):
         """``floor(B/m - c)`` as in Section 4.4, floored at zero."""
         return multiple_walk_steps(budget, self.num_walkers, self.seed_cost)
 
-    def sample(
-        self, graph: Graph, budget: float, rng: RngLike = None
-    ) -> WalkTrace:
-        if resolve_backend(self.backend, graph) == "csr":
-            return vectorized.sample_multiple(
-                graph,
-                self.num_walkers,
-                budget,
-                seeding=self.seeding,
-                seed_cost=self.seed_cost,
-                rng=rng,
-                method=self.name,
-            )
-        generator = ensure_rng(rng)
-        seeds = make_seeds(graph, self.num_walkers, self.seeding, generator)
-        steps = self.steps_per_walker(budget)
-        per_walker: List[List[Edge]] = []
-        flat: List[Edge] = []
-        for start in seeds:
-            edges = random_walk(graph, start, steps, generator)
-            per_walker.append(edges)
-            flat.extend(edges)
-        return WalkTrace(
-            method=self.name,
-            edges=flat,
-            initial_vertices=seeds,
-            budget=budget,
-            seed_cost=self.seed_cost,
-            per_walker=per_walker,
+    def start(self, graph: Graph, rng: RngLike = None):
+        """Seed ``m`` walkers and return their incremental session.
+
+        The walkers share one random stream walker-by-walker, so the
+        session's trace depends on its ``advance`` chunk boundaries;
+        one ``advance_budget`` call reproduces the one-shot draw order.
+        """
+        from repro.sampling.session import (
+            ArrayMultipleSession,
+            MultipleWalkSession,
         )
+
+        if resolve_backend(self.backend, graph) == "csr":
+            return ArrayMultipleSession(self, graph, rng)
+        return MultipleWalkSession(self, graph, rng)
 
     def __repr__(self) -> str:
         return (

@@ -1,0 +1,813 @@
+"""Incremental sampling sessions — the resumable anytime protocol.
+
+The paper's algorithms are *anytime* processes: walkers keep stepping
+and every estimate sharpens as the budget grows.  A
+:class:`SamplerSession` exposes that directly.  ``sampler.start(graph,
+rng=...)`` draws the initial walker positions (paying their seed cost)
+and returns a session that can
+
+- :meth:`~SamplerSession.advance` a number of walk steps, or
+  :meth:`~SamplerSession.advance_budget` up to a total budget,
+- report the accumulated :meth:`~SamplerSession.trace` (exactly the
+  trace the one-shot ``Sampler.sample`` API returns), or hand over
+  increments via :meth:`~SamplerSession.take_trace` for streaming
+  estimation in O(chunk) memory,
+- checkpoint to disk with :meth:`~SamplerSession.save` and resume with
+  :func:`load_session` — the :attr:`~SamplerSession.state` (walker
+  positions, frontier weights, RNG state, retained step record) is
+  picklable; only the graph itself is excluded and re-attached on load.
+
+Determinism contract: both backends draw from their RNG in
+protocol-defined units (one ``random.Random`` call per event on the
+list backend; contiguous ``Generator.random`` blocks on the csr
+backend), so *chunking is invisible* — a session advanced in any
+sequence of increments consumes the identical stream and produces a
+trace bit-identical to a single ``advance_budget`` call, except for
+:class:`~repro.sampling.multiple.MultipleRandomWalk`, whose independent
+walkers share one stream walker-by-walker (there, a chunked run is
+bit-identical to any other run with the same chunk boundaries,
+including a checkpoint/resume at any boundary).  ``Sampler.sample()``
+performs exactly one ``advance_budget``, which is why its traces match
+the pre-session goldens bit for bit.
+
+The csr backend advances in array-sized strides: each ``advance`` is
+one call into the kernels of :mod:`repro.sampling.vectorized` (native C
+when available), never a Python per-step loop.
+"""
+
+from __future__ import annotations
+
+import abc
+import heapq
+import pickle
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.sampling import vectorized
+from repro.sampling.base import (
+    Edge,
+    VertexTrace,
+    WalkTrace,
+    make_seeds,
+    require_walkable_seeds,
+    steps_within_budget,
+)
+from repro.sampling.metropolis import MetropolisTrace
+from repro.sampling.vectorized import (
+    ArrayMetropolisTrace,
+    ArrayWalkTrace,
+    _fast_form,
+)
+from repro.util.alias import AliasTable
+from repro.util.fenwick import FenwickTree
+from repro.util.rng import RngLike, ensure_np_rng, ensure_rng
+
+PathLike = Union[str, Path]
+
+
+def _graph_signature(graph) -> Tuple[int, int]:
+    """(num_vertices, num_edges) — the compatibility check for resume."""
+    return (graph.num_vertices, graph.num_edges)
+
+
+class SamplerSession(abc.ABC):
+    """One resumable sampling run: walker state plus the step record.
+
+    Subclasses implement ``_advance`` (take ``steps`` more walk steps,
+    appending to the retained record) and ``trace`` (materialize the
+    retained record as the sampler's trace type).  Everything else —
+    budget accounting, draining, checkpointing — is shared here.
+    """
+
+    #: MultipleRW divides the budget per walker (Section 4.4); the
+    #: coordinated samplers share it (Algorithm 1).
+    _split_budget = False
+    #: Derived attributes rebuilt from the graph on resume instead of
+    #: being pickled (csr fast forms, alias tables, ...).
+    _UNPICKLED: Tuple[str, ...] = ()
+
+    def __init__(self, sampler, graph, initial_vertices: List[int]):
+        self.sampler = sampler
+        self.method = sampler.name
+        self.seed_cost = float(getattr(sampler, "seed_cost", 0.0))
+        self._graph = graph
+        self.initial_vertices = list(initial_vertices)
+        #: Walk steps taken so far — *per walker* for split-budget
+        #: sessions (MultipleRW), total otherwise.
+        self.steps_taken = 0
+        #: High-water requested budget (None until a budget is named;
+        #: trace() then reports actual spend instead).
+        self._budget: Optional[float] = None
+        #: Whether plain advance() ever ran — then the reported budget
+        #: must floor at actual spend (a named budget alone may
+        #: legitimately sit below the seed cost it already paid).
+        self._stepped_plainly = False
+
+    # ------------------------------------------------------------------
+    # core protocol
+    # ------------------------------------------------------------------
+    @property
+    def graph(self):
+        """The attached graph (``None`` on a detached checkpoint)."""
+        return self._graph
+
+    @property
+    def num_walkers(self) -> int:
+        return max(1, len(self.initial_vertices))
+
+    @abc.abstractmethod
+    def _advance(self, steps: int) -> None:
+        """Take ``steps`` more walk steps, appending to the record."""
+
+    @abc.abstractmethod
+    def trace(self):
+        """The retained step record as this sampler's trace type.
+
+        Covers every step since the session started — or since the
+        last :meth:`take_trace` drain, if one happened.
+        """
+
+    @abc.abstractmethod
+    def _clear_record(self) -> None:
+        """Drop the retained step record (walker state is untouched)."""
+
+    def advance(self, steps: int) -> int:
+        """Take ``steps`` walk steps (per walker for MultipleRW).
+
+        Returns the number of steps actually taken (== ``steps``).
+        """
+        self._take(steps)
+        self._stepped_plainly = True
+        return int(steps)
+
+    def _take(self, steps: int) -> None:
+        if steps < 0:
+            raise ValueError(f"steps must be >= 0, got {steps}")
+        if self._graph is None:
+            raise RuntimeError(
+                "session is detached; attach a graph with load_session()"
+            )
+        if steps:
+            self._advance(int(steps))
+            self.steps_taken += int(steps)
+
+    def _target_steps(self, budget: float) -> int:
+        return steps_within_budget(
+            budget, self.num_walkers, self.seed_cost, split=self._split_budget
+        )
+
+    def advance_budget(self, budget: float) -> int:
+        """Advance until ``budget`` total units are spent.
+
+        Idempotent beyond the high-water mark: re-requesting a budget
+        the session already reached is a no-op, and budgets only ever
+        extend a run — they never rewind it.  Returns the number of new
+        steps taken (per walker for MultipleRW).
+        """
+        target = self._target_steps(budget)
+        delta = max(0, target - self.steps_taken)
+        self._take(delta)
+        self._budget = (
+            budget if self._budget is None else max(self._budget, budget)
+        )
+        return delta
+
+    def take_trace(self):
+        """Drain: return the trace increment since the last drain.
+
+        Hands the retained step record to the caller (for streaming
+        accumulators) and releases it, so a loop of ``advance`` +
+        ``take_trace`` runs in O(chunk) memory however long the walk.
+        After a drain, :meth:`trace` and checkpoints cover only steps
+        taken since — walker state, budget accounting and the random
+        stream continue seamlessly either way.
+        """
+        increment = self.trace()
+        self._clear_record()
+        return increment
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+    def _units_spent(self) -> float:
+        steps = self.steps_taken
+        return float(steps * self.num_walkers if self._split_budget else steps)
+
+    def spent(self) -> float:
+        """Budget consumed so far: seeds plus every step taken."""
+        return self.seed_cost * len(self.initial_vertices) + self._units_spent()
+
+    def _trace_budget(self) -> float:
+        if self._budget is None:
+            return self.spent()
+        if self._stepped_plainly:
+            # Plain advance() can push spend past any named budget; the
+            # reported budget must cover what was actually walked.
+            return max(self._budget, self.spent())
+        return self._budget
+
+    # ------------------------------------------------------------------
+    # checkpoint / resume
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> dict:
+        """Picklable snapshot view of the session (graph excluded).
+
+        Walker positions, frontier weights, RNG state and the retained
+        step record — everything :meth:`save` writes.  The view shares
+        mutable members with the live session; use :meth:`save` /
+        :func:`load_session` for durable checkpoints.
+        """
+        return self.__getstate__()
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        if self._graph is not None:
+            state["_graph_signature"] = _graph_signature(self._graph)
+        state["_graph"] = None
+        for name in self._UNPICKLED:
+            state[name] = None
+        return state
+
+    def save(self, path: PathLike) -> None:
+        """Checkpoint the session to ``path`` (pickle, graph excluded)."""
+        with open(path, "wb") as handle:
+            pickle.dump(self, handle, protocol=pickle.HIGHEST_PROTOCOL)
+
+    def attach(self, graph) -> None:
+        """Re-attach ``graph`` to a checkpoint loaded from disk.
+
+        The graph must be the one the session was started on (same
+        vertex/edge counts *and* the same neighbor order — traces are
+        only reproducible against an identical graph).
+        """
+        expected = self.__dict__.get("_graph_signature")
+        if expected is not None and _graph_signature(graph) != tuple(expected):
+            # Leave the signature in place: a failed attach must not
+            # disarm the check for a later attempt.
+            raise ValueError(
+                f"graph signature {_graph_signature(graph)} does not match"
+                f" the checkpointed session's {tuple(expected)}"
+            )
+        self.__dict__.pop("_graph_signature", None)
+        self._graph = graph
+        self._reattach(graph)
+
+    def _reattach(self, graph) -> None:
+        """Hook: rebuild graph-derived state dropped by ``_UNPICKLED``."""
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(method={self.method!r},"
+            f" steps_taken={self.steps_taken}, spent={self.spent():g})"
+        )
+
+
+def load_session(path: PathLike, graph) -> SamplerSession:
+    """Load a checkpoint written by :meth:`SamplerSession.save`.
+
+    ``graph`` must be the graph the session was started on; resumed
+    runs then reproduce the uninterrupted run's trace bit for bit.
+    (Checkpoints are pickles — only load files you wrote.)
+    """
+    with open(path, "rb") as handle:
+        session = pickle.load(handle)
+    if not isinstance(session, SamplerSession):
+        raise TypeError(
+            f"{str(path)!r} does not contain a SamplerSession checkpoint"
+        )
+    session.attach(graph)
+    return session
+
+
+# ----------------------------------------------------------------------
+# list backend: interpreted per-step walkers over adjacency lists
+# ----------------------------------------------------------------------
+class _ListSession(SamplerSession):
+    """Shared record-keeping for the interpreted walk sessions."""
+
+    _with_walkers = False  # record per-walker grouping + indices?
+
+    def __init__(self, sampler, graph, initial_vertices, rng):
+        super().__init__(sampler, graph, initial_vertices)
+        self.rng = rng
+        self._edges: List[Edge] = []
+        self._indices: Optional[List[int]] = [] if self._with_walkers else None
+
+    def _record(self, idx: int, edge: Edge) -> None:
+        self._edges.append(edge)
+        if self._indices is not None:
+            self._indices.append(idx)
+
+    def _per_walker(self) -> Optional[List[List[Edge]]]:
+        if self._indices is None:
+            return None
+        grouped: List[List[Edge]] = [[] for _ in self.initial_vertices]
+        for idx, edge in zip(self._indices, self._edges):
+            grouped[idx].append(edge)
+        return grouped
+
+    def trace(self) -> WalkTrace:
+        return WalkTrace(
+            method=self.method,
+            edges=list(self._edges),
+            initial_vertices=list(self.initial_vertices),
+            budget=self._trace_budget(),
+            seed_cost=self.seed_cost,
+            per_walker=self._per_walker(),
+            walker_indices=(
+                list(self._indices) if self._indices is not None else None
+            ),
+        )
+
+    def _clear_record(self) -> None:
+        self._edges = []
+        if self._indices is not None:
+            self._indices = []
+
+
+class SingleWalkSession(_ListSession):
+    """SingleRW: one walker, one ``random_neighbor`` draw per step."""
+
+    def __init__(self, sampler, graph, rng: RngLike = None):
+        generator = ensure_rng(rng)
+        seeds = make_seeds(graph, 1, sampler.seeding, generator)
+        super().__init__(sampler, graph, seeds, generator)
+        self.position = seeds[0]
+        if graph.degree(self.position) == 0:
+            raise ValueError(
+                f"cannot walk from isolated vertex {self.position}"
+            )
+
+    def _advance(self, steps: int) -> None:
+        graph, rng = self._graph, self.rng
+        current = self.position
+        for _ in range(steps):
+            nxt = graph.random_neighbor(current, rng)
+            self._record(0, (current, nxt))
+            current = nxt
+        self.position = current
+
+
+class MultipleWalkSession(_ListSession):
+    """MultipleRW: ``m`` independent walkers sharing one stream.
+
+    ``advance(steps)`` gives every walker ``steps`` more steps,
+    walker-by-walker in index order — the draw order of the one-shot
+    sampler, so a single ``advance_budget`` reproduces it exactly.
+    """
+
+    _split_budget = True
+    _with_walkers = True
+
+    def __init__(self, sampler, graph, rng: RngLike = None):
+        generator = ensure_rng(rng)
+        seeds = make_seeds(
+            graph, sampler.num_walkers, sampler.seeding, generator
+        )
+        super().__init__(sampler, graph, seeds, generator)
+        self.positions = list(seeds)
+
+    def _advance(self, steps: int) -> None:
+        graph, rng = self._graph, self.rng
+        for idx, start in enumerate(self.positions):
+            current = start
+            for _ in range(steps):
+                nxt = graph.random_neighbor(current, rng)
+                self._record(idx, (current, nxt))
+                current = nxt
+            self.positions[idx] = current
+
+    def trace(self) -> WalkTrace:
+        # The one-shot MultipleRW trace groups edges per walker but
+        # reports no interleaving (the walkers are independent).
+        trace = super().trace()
+        trace.walker_indices = None
+        return trace
+
+
+class FrontierWalkSession(_ListSession):
+    """FS (Algorithm 1): frontier positions + Fenwick degree weights."""
+
+    _with_walkers = True
+
+    def __init__(
+        self,
+        sampler,
+        graph,
+        rng: RngLike = None,
+        initial_vertices: Optional[Sequence[int]] = None,
+    ):
+        generator = ensure_rng(rng)
+        if initial_vertices is None:
+            seeds = make_seeds(
+                graph, sampler.dimension, sampler.seeding, generator
+            )
+        else:
+            seeds = [int(v) for v in initial_vertices]
+        super().__init__(sampler, graph, seeds, generator)
+        self.walker_selection = sampler.walker_selection
+        self.frontier = list(seeds)
+        require_walkable_seeds(
+            graph, self.frontier, "FS cannot walk from it"
+        )
+        self.weights = FenwickTree(
+            [float(graph.degree(v)) for v in self.frontier]
+        )
+
+    def _advance(self, steps: int) -> None:
+        graph, rng = self._graph, self.rng
+        frontier, weights = self.frontier, self.weights
+        degree_selection = self.walker_selection == "degree"
+        for _ in range(steps):
+            if degree_selection:
+                idx = weights.sample(rng)
+            else:
+                idx = rng.randrange(len(frontier))
+            u = frontier[idx]
+            v = graph.random_neighbor(u, rng)
+            self._record(idx, (u, v))
+            frontier[idx] = v
+            weights.update(idx, float(graph.degree(v)))
+
+
+class DistributedWalkSession(_ListSession):
+    """DistributedFS: exponential-clock walkers on an event heap."""
+
+    _with_walkers = True
+
+    def __init__(
+        self,
+        sampler,
+        graph,
+        rng: RngLike = None,
+        initial_vertices: Optional[Sequence[int]] = None,
+    ):
+        generator = ensure_rng(rng)
+        if initial_vertices is not None:
+            seeds = [int(v) for v in initial_vertices]
+        else:
+            seeds = make_seeds(
+                graph, sampler.dimension, sampler.seeding, generator
+            )
+        super().__init__(sampler, graph, seeds, generator)
+        self.positions = list(seeds)
+        require_walkable_seeds(graph, self.positions)
+        # Event queue of (next_jump_time, walker_index); the index
+        # breaks ties deterministically.
+        self.queue: List[Tuple[float, int]] = []
+        for i, v in enumerate(self.positions):
+            holding = generator.expovariate(graph.degree(v))
+            heapq.heappush(self.queue, (holding, i))
+
+    def _advance(self, steps: int) -> None:
+        graph, rng = self._graph, self.rng
+        positions, queue = self.positions, self.queue
+        for _ in range(steps):
+            now, idx = heapq.heappop(queue)
+            u = positions[idx]
+            v = graph.random_neighbor(u, rng)
+            self._record(idx, (u, v))
+            positions[idx] = v
+            holding = rng.expovariate(graph.degree(v))
+            heapq.heappush(queue, (now + holding, idx))
+
+
+class MetropolisWalkSession(_ListSession):
+    """MRW: accepted edges plus the full visit sequence (incl. holds)."""
+
+    def __init__(self, sampler, graph, rng: RngLike = None):
+        generator = ensure_rng(rng)
+        seeds = make_seeds(graph, 1, sampler.seeding, generator)
+        super().__init__(sampler, graph, seeds, generator)
+        self.position = seeds[0]
+        self._visited: List[int] = []
+
+    def _advance(self, steps: int) -> None:
+        graph, rng = self._graph, self.rng
+        current = self.position
+        for _ in range(steps):
+            proposal = graph.random_neighbor(current, rng)
+            accept = graph.degree(current) / graph.degree(proposal)
+            if rng.random() < accept:
+                self._record(0, (current, proposal))
+                current = proposal
+            self._visited.append(current)
+        self.position = current
+
+    def _units_spent(self) -> float:
+        # Rejected proposals cost their neighbor query too, so spend is
+        # counted in proposals (== steps_taken), not accepted edges.
+        return float(self.steps_taken)
+
+    def trace(self) -> MetropolisTrace:
+        trace = MetropolisTrace(
+            method=self.method,
+            edges=list(self._edges),
+            initial_vertices=list(self.initial_vertices),
+            budget=self._trace_budget(),
+            seed_cost=self.seed_cost,
+        )
+        trace.visited = list(self._visited)
+        return trace
+
+    def _clear_record(self) -> None:
+        super()._clear_record()
+        self._visited = []
+
+
+# ----------------------------------------------------------------------
+# csr backend: each advance is one stride through the batch kernels
+# ----------------------------------------------------------------------
+class _ArraySession(SamplerSession):
+    """Shared chunk bookkeeping for the vectorized sessions.
+
+    Step records accumulate as lists of int64 array chunks — one chunk
+    per ``advance`` — and concatenate lazily in :meth:`trace`, so a
+    long session never round-trips through Python tuples.
+    """
+
+    _UNPICKLED = ("_fast",)
+    _with_walkers = False
+
+    def __init__(self, sampler, graph, rng, native: Optional[bool]):
+        self._native = native
+        self._fast = _fast_form(graph, native)
+        generator = ensure_np_rng(rng)
+        seeds = self._draw_seeds(sampler, generator)
+        super().__init__(sampler, graph, seeds)
+        self.rng = generator
+        self._source_chunks: List[np.ndarray] = []
+        self._target_chunks: List[np.ndarray] = []
+        self._walker_chunks: Optional[List[np.ndarray]] = (
+            [] if self._with_walkers else None
+        )
+
+    def _draw_seeds(self, sampler, generator) -> List[int]:
+        return vectorized.make_seeds_np(
+            self._fast, 1, sampler.seeding, generator
+        )
+
+    def _record_chunk(
+        self,
+        sources: np.ndarray,
+        targets: np.ndarray,
+        walkers: Optional[np.ndarray] = None,
+    ) -> None:
+        self._source_chunks.append(sources)
+        self._target_chunks.append(targets)
+        if self._walker_chunks is not None:
+            self._walker_chunks.append(walkers)
+
+    @staticmethod
+    def _concat(chunks: List[np.ndarray]) -> np.ndarray:
+        if not chunks:
+            return np.empty(0, dtype=np.int64)
+        if len(chunks) == 1:
+            return chunks[0]
+        return np.concatenate(chunks)
+
+    def trace(self) -> ArrayWalkTrace:
+        return ArrayWalkTrace(
+            method=self.method,
+            step_sources=self._concat(self._source_chunks),
+            step_targets=self._concat(self._target_chunks),
+            initial_vertices=list(self.initial_vertices),
+            budget=self._trace_budget(),
+            seed_cost=self.seed_cost,
+            step_walkers=(
+                self._concat(self._walker_chunks)
+                if self._walker_chunks is not None
+                else None
+            ),
+        )
+
+    def _clear_record(self) -> None:
+        self._source_chunks = []
+        self._target_chunks = []
+        if self._walker_chunks is not None:
+            self._walker_chunks = []
+
+    def _reattach(self, graph) -> None:
+        self._fast = _fast_form(graph, self._native)
+
+
+class ArraySingleSession(_ArraySession):
+    """SingleRW on the csr backend."""
+
+    def __init__(self, sampler, graph, rng: RngLike = None, native=None):
+        super().__init__(sampler, graph, rng, native)
+        self.position = self.initial_vertices[0]
+
+    def _advance(self, steps: int) -> None:
+        sources, targets = vectorized.run_random_walk(
+            self._fast, self.position, steps, self.rng, self._native
+        )
+        self._record_chunk(sources, targets)
+        self.position = int(targets[-1])
+
+
+class ArrayMultipleSession(_ArraySession):
+    """MultipleRW on the csr backend (walker-by-walker draw blocks)."""
+
+    _split_budget = True
+    _with_walkers = True
+
+    def __init__(self, sampler, graph, rng: RngLike = None, native=None):
+        super().__init__(sampler, graph, rng, native)
+        self.positions = list(self.initial_vertices)
+
+    def _draw_seeds(self, sampler, generator) -> List[int]:
+        return vectorized.make_seeds_np(
+            self._fast, sampler.num_walkers, sampler.seeding, generator
+        )
+
+    def _advance(self, steps: int) -> None:
+        for idx, start in enumerate(self.positions):
+            sources, targets = vectorized.run_random_walk(
+                self._fast, start, steps, self.rng, self._native
+            )
+            self._record_chunk(
+                sources, targets, np.full(steps, idx, dtype=np.int64)
+            )
+            self.positions[idx] = int(targets[-1])
+
+
+class ArrayFrontierSession(_ArraySession):
+    """m-dimensional FS on the csr backend."""
+
+    _with_walkers = True
+
+    def __init__(
+        self,
+        sampler,
+        graph,
+        rng: RngLike = None,
+        native=None,
+        initial_vertices: Optional[Sequence[int]] = None,
+    ):
+        self._pinned_seeds = (
+            None
+            if initial_vertices is None
+            else [int(v) for v in initial_vertices]
+        )
+        super().__init__(sampler, graph, rng, native)
+        self.walker_selection = sampler.walker_selection
+        self.frontier = list(self.initial_vertices)
+        # Drawn seeds are walkable by construction; pinned ones must be
+        # checked here, exactly as the list session does at start.
+        require_walkable_seeds(
+            self._fast, self.frontier, "FS cannot walk from it"
+        )
+
+    def _draw_seeds(self, sampler, generator) -> List[int]:
+        if self._pinned_seeds is not None:
+            return self._pinned_seeds
+        return vectorized.make_seeds_np(
+            self._fast, sampler.dimension, sampler.seeding, generator
+        )
+
+    def _advance(self, steps: int) -> None:
+        sources, targets, walkers = vectorized.run_frontier(
+            self._fast,
+            self.frontier,
+            steps,
+            self.rng,
+            self.walker_selection,
+            self._native,
+        )
+        self._record_chunk(sources, targets, walkers)
+        # Each walker's new position is its last target in the chunk.
+        # Fancy assignment with repeated indices keeps the final write
+        # (documented numpy semantics), which makes this O(steps) —
+        # cheap enough to keep sample()'s kernel hot path intact.
+        positions = np.asarray(self.frontier, dtype=np.int64)
+        positions[walkers] = targets
+        self.frontier = positions.tolist()
+
+
+class ArrayMetropolisSession(_ArraySession):
+    """MRW on the csr backend."""
+
+    def __init__(self, sampler, graph, rng: RngLike = None, native=None):
+        super().__init__(sampler, graph, rng, native)
+        self.position = self.initial_vertices[0]
+        self._visited_chunks: List[np.ndarray] = []
+
+    def _advance(self, steps: int) -> None:
+        edge_sources, edge_targets, visited = vectorized.run_metropolis(
+            self._fast, self.position, steps, self.rng, self._native
+        )
+        self._record_chunk(edge_sources, edge_targets)
+        self._visited_chunks.append(visited)
+        self.position = int(visited[-1])
+
+    def _units_spent(self) -> float:
+        return float(self.steps_taken)  # proposals, not accepted edges
+
+    def trace(self) -> ArrayMetropolisTrace:
+        return ArrayMetropolisTrace(
+            self.method,
+            self._concat(self._source_chunks),
+            self._concat(self._target_chunks),
+            list(self.initial_vertices),
+            self._trace_budget(),
+            self.seed_cost,
+            visited_array=self._concat(self._visited_chunks),
+        )
+
+    def _clear_record(self) -> None:
+        super()._clear_record()
+        self._visited_chunks = []
+
+
+# ----------------------------------------------------------------------
+# independent sampling (Section 3): probes instead of walk steps
+# ----------------------------------------------------------------------
+class VertexSampleSession(SamplerSession):
+    """RandomVertex: ``advance(steps)`` spends that many id probes."""
+
+    def __init__(self, sampler, graph, rng: RngLike = None):
+        if graph.num_vertices == 0:
+            raise ValueError("graph has no vertices")
+        super().__init__(sampler, graph, [])
+        self.rng = ensure_rng(rng)
+        self.hit_ratio = sampler.hit_ratio
+        self._vertices: List[int] = []
+
+    def _target_steps(self, budget: float) -> int:
+        if budget < 0:
+            raise ValueError(f"budget must be >= 0, got {budget}")
+        return int(budget)
+
+    def _advance(self, steps: int) -> None:
+        graph, rng = self._graph, self.rng
+        for _ in range(steps):
+            if self.hit_ratio >= 1.0 or rng.random() < self.hit_ratio:
+                self._vertices.append(graph.random_vertex(rng))
+
+    def _units_spent(self) -> float:
+        return float(self.steps_taken)  # one unit per probe, hit or miss
+
+    def trace(self) -> VertexTrace:
+        return VertexTrace(
+            method=self.method,
+            vertices=list(self._vertices),
+            budget=self._trace_budget(),
+            cost_per_sample=1.0 / self.hit_ratio,
+        )
+
+    def _clear_record(self) -> None:
+        self._vertices = []
+
+
+class EdgeSampleSession(SamplerSession):
+    """RandomEdge: ``advance(steps)`` spends that many edge attempts."""
+
+    _UNPICKLED = ("_degree_table",)
+
+    def __init__(self, sampler, graph, rng: RngLike = None):
+        if graph.num_edges == 0:
+            raise ValueError("graph has no edges")
+        super().__init__(sampler, graph, [])
+        self.rng = ensure_rng(rng)
+        self.hit_ratio = sampler.hit_ratio
+        self.cost_per_edge = sampler.cost_per_edge
+        self._degree_table = AliasTable(graph.degrees())
+        self._edges: List[Edge] = []
+
+    def _target_steps(self, budget: float) -> int:
+        if budget < 0:
+            raise ValueError(f"budget must be >= 0, got {budget}")
+        return int(budget / self.cost_per_edge)
+
+    def _advance(self, steps: int) -> None:
+        graph, rng, table = self._graph, self.rng, self._degree_table
+        for _ in range(steps):
+            if self.hit_ratio < 1.0 and rng.random() >= self.hit_ratio:
+                continue
+            # u proportional to degree then uniform neighbor == uniform
+            # over directed edges.
+            u = table.sample(rng)
+            v = graph.random_neighbor(u, rng)
+            self._edges.append((u, v))
+
+    def _units_spent(self) -> float:
+        return self.steps_taken * self.cost_per_edge
+
+    def trace(self) -> WalkTrace:
+        return WalkTrace(
+            method=self.method,
+            edges=list(self._edges),
+            initial_vertices=[],
+            budget=self._trace_budget(),
+            seed_cost=0.0,
+        )
+
+    def _clear_record(self) -> None:
+        self._edges = []
+
+    def _reattach(self, graph) -> None:
+        self._degree_table = AliasTable(graph.degrees())

@@ -11,20 +11,16 @@ from __future__ import annotations
 from typing import List, Optional
 
 from repro.graph.graph import Graph
-from repro.sampling import vectorized
 from repro.sampling.base import (
     Backend,
     Edge,
     Sampler,
     SeedingMode,
-    WalkTrace,
     check_backend,
     check_seeding,
-    make_seeds,
     resolve_backend,
-    walk_steps,
 )
-from repro.util.rng import RngLike, ensure_rng
+from repro.util.rng import RngLike
 
 
 def random_walk(
@@ -63,29 +59,16 @@ class SingleRandomWalk(Sampler):
         self.seed_cost = seed_cost
         self.backend = check_backend(backend)
 
-    def sample(
-        self, graph: Graph, budget: float, rng: RngLike = None
-    ) -> WalkTrace:
-        if resolve_backend(self.backend, graph) == "csr":
-            return vectorized.sample_single(
-                graph,
-                budget,
-                seeding=self.seeding,
-                seed_cost=self.seed_cost,
-                rng=rng,
-                method=self.name,
-            )
-        generator = ensure_rng(rng)
-        start = make_seeds(graph, 1, self.seeding, generator)[0]
-        steps = walk_steps(budget, 1, self.seed_cost)
-        edges = random_walk(graph, start, steps, generator)
-        return WalkTrace(
-            method=self.name,
-            edges=edges,
-            initial_vertices=[start],
-            budget=budget,
-            seed_cost=self.seed_cost,
+    def start(self, graph: Graph, rng: RngLike = None):
+        """Seed one walker and return its incremental session."""
+        from repro.sampling.session import (
+            ArraySingleSession,
+            SingleWalkSession,
         )
+
+        if resolve_backend(self.backend, graph) == "csr":
+            return ArraySingleSession(self, graph, rng)
+        return SingleWalkSession(self, graph, rng)
 
     def __repr__(self) -> str:
         return (

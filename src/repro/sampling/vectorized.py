@@ -334,19 +334,31 @@ def run_frontier(
             "walker_selection must be 'degree' or 'uniform',"
             f" got {walker_selection!r}"
         )
-    positions = [int(v) for v in frontier]
-    for v in positions:
-        if graph.degree(v) == 0:
-            raise ValueError(
-                f"initial vertex {v} is isolated; FS cannot walk from it"
-            )
+    positions_array = np.asarray(frontier, dtype=np.int64)
+    # Vectorized isolated-seed check: sessions re-enter this function
+    # once per advance, so a per-walker Python loop of numpy scalar
+    # reads would tax every chunk.
+    if isinstance(graph, CSRGraph):
+        start_degrees = (
+            graph.indptr[positions_array + 1] - graph.indptr[positions_array]
+        )
+    else:
+        start_degrees = np.asarray(
+            [graph.degree(int(v)) for v in positions_array], dtype=np.int64
+        )
+    if positions_array.size and not start_degrees.all():
+        isolated = int(positions_array[int(np.argmin(start_degrees != 0))])
+        raise ValueError(
+            f"initial vertex {isolated} is isolated; FS cannot walk from it"
+        )
+    positions = positions_array.tolist()
     degree_selection = walker_selection == "degree"
     uniforms = rng.random(steps if degree_selection else 2 * steps)
     if _want_native(graph, native):
         return _native.fs_steps(
             graph.indptr,
             graph.indices,
-            np.asarray(positions, dtype=np.int64),
+            positions_array.copy(),  # the kernel mutates it in place
             steps,
             degree_selection,
             uniforms,

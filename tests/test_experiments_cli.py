@@ -45,3 +45,49 @@ class TestCli:
     def test_run_fig1_with_runs(self, capsys):
         assert main(["fig1", "--scale", "0.05", "--runs", "3"]) == 0
         assert "Figure 1" in capsys.readouterr().out
+
+
+class TestSampleSubcommand:
+    def test_sample_runs_and_reports(self, capsys):
+        assert main([
+            "sample", "--ba", "300", "2", "--sampler", "fs",
+            "--dimension", "8", "--budget", "200", "--chunk", "100",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "started FS session" in out
+        assert "session done: 192 steps" in out
+
+    def test_checkpoint_resume_round_trip(self, tmp_path, capsys):
+        checkpoint = str(tmp_path / "run.ckpt")
+        base = ["sample", "--ba", "300", "2", "--sampler", "srw",
+                "--backend", "csr", "--chunk", "200"]
+        assert main(base + ["--budget", "300",
+                            "--checkpoint", checkpoint]) == 0
+        first = capsys.readouterr().out
+        assert "checkpoint written" in first
+        assert main(base + ["--budget", "900",
+                            "--resume", checkpoint]) == 0
+        resumed = capsys.readouterr().out
+        assert "resumed SingleRW session" in resumed
+        assert "899 steps" in resumed  # 1 seed unit + 899 steps
+
+        # uninterrupted run with the same chunking = same estimates
+        assert main(base + ["--budget", "900"]) == 0
+        fresh = capsys.readouterr().out
+        assert fresh.splitlines()[-2] == resumed.splitlines()[-2]
+
+    def test_resume_ignores_sampler_flags(self, tmp_path, capsys):
+        checkpoint = str(tmp_path / "run.ckpt")
+        assert main(["sample", "--ba", "300", "2", "--sampler", "fs",
+                     "--dimension", "4", "--budget", "100",
+                     "--checkpoint", checkpoint]) == 0
+        capsys.readouterr()
+        assert main(["sample", "--ba", "300", "2", "--sampler", "mrw",
+                     "--budget", "150", "--resume", checkpoint]) == 0
+        out = capsys.readouterr().out
+        assert "resumed FS session" in out
+
+    def test_dfs_rejects_csr_backend(self):
+        with pytest.raises(SystemExit):
+            main(["sample", "--ba", "100", "2", "--sampler", "dfs",
+                  "--backend", "csr", "--budget", "50"])

@@ -157,3 +157,73 @@ class TestBackendThreading:
                 runs=2,
                 backend="gpu",
             )
+
+
+class TestBudgetSweep:
+    """MSE-vs-budget curves from one resumed session per replicate."""
+
+    def test_final_budget_matches_one_shot_experiment(self, sweep_graph=None):
+        from repro.experiments.degree_errors import (
+            degree_error_budget_sweep,
+            degree_error_experiment,
+        )
+        from repro.generators.ba import barabasi_albert
+        from repro.sampling import (
+            FrontierSampler,
+            RandomVertexSampler,
+            SingleRandomWalk,
+        )
+
+        graph = barabasi_albert(600, 2, rng=4)
+        samplers = {
+            "FS": FrontierSampler(8),
+            "SingleRW": SingleRandomWalk(),
+            "RV": RandomVertexSampler(),
+        }
+        sweep = degree_error_budget_sweep(
+            graph, samplers, [200, 800], runs=4, backend="csr"
+        )
+        single = degree_error_experiment(
+            graph, samplers, 800, runs=4, backend="csr"
+        )
+        for method in samplers:
+            assert sweep.at(800).mean_error(method) == pytest.approx(
+                single.mean_error(method), abs=1e-9
+            )
+
+    def test_error_curve_shape_and_render(self):
+        from repro.experiments.degree_errors import (
+            degree_error_budget_sweep,
+        )
+        from repro.generators.ba import barabasi_albert
+        from repro.sampling import FrontierSampler
+
+        graph = barabasi_albert(500, 2, rng=4)
+        budgets = [100, 400, 1600]
+        sweep = degree_error_budget_sweep(
+            graph, {"FS": FrontierSampler(8)}, budgets, runs=6
+        )
+        curve = sweep.mean_error_curve("FS")
+        assert list(curve) == [float(b) for b in budgets]
+        # more budget, better estimate (the paper's qualitative claim)
+        assert curve[1600.0] < curve[100.0]
+        rendered = sweep.render()
+        assert "FS" in rendered and "one resumed session" in rendered
+
+    def test_invalid_arguments_rejected(self):
+        from repro.experiments.degree_errors import (
+            degree_error_budget_sweep,
+        )
+        from repro.generators.ba import barabasi_albert
+        from repro.sampling import SingleRandomWalk
+
+        graph = barabasi_albert(100, 2, rng=4)
+        samplers = {"SingleRW": SingleRandomWalk()}
+        with pytest.raises(ValueError, match="metric"):
+            degree_error_budget_sweep(
+                graph, samplers, [10], 1, metric="median"
+            )
+        with pytest.raises(ValueError, match="ascending"):
+            degree_error_budget_sweep(graph, samplers, [100, 50], 1)
+        with pytest.raises(ValueError, match="ascending"):
+            degree_error_budget_sweep(graph, samplers, [], 1)

@@ -25,3 +25,85 @@ class TestReplicate:
     def test_zero_runs_rejected(self):
         with pytest.raises(ValueError):
             replicate(lambda rng: 1, 0)
+
+
+class TestReplicateIncremental:
+    @staticmethod
+    def _start_counter(rng):
+        class Counter:
+            def __init__(self):
+                self.budget = 0.0
+                self.advances = 0
+
+            def advance_budget(self, budget):
+                assert budget >= self.budget  # never rewound
+                self.budget = budget
+                self.advances += 1
+
+        return Counter()
+
+    def test_one_session_per_run_advanced_through_checkpoints(self):
+        from repro.experiments.runner import replicate_incremental
+
+        rows = replicate_incremental(
+            self._start_counter,
+            lambda session, budget: (session.advances, budget),
+            budgets=[10, 20, 50],
+            runs=3,
+        )
+        assert rows == [[(1, 10.0), (2, 20.0), (3, 50.0)]] * 3
+
+    def test_sessions_resume_not_rewalk(self):
+        """Each budget checkpoint only pays the incremental steps."""
+        from repro.experiments.runner import replicate_incremental
+        from repro.generators.ba import barabasi_albert
+        from repro.sampling import FrontierSampler
+
+        graph = barabasi_albert(400, 2, rng=3)
+        sampler = FrontierSampler(8, backend="csr")
+        rows = replicate_incremental(
+            lambda rng: sampler.start(graph, rng),
+            lambda session, budget: session.steps_taken,
+            budgets=[100, 300, 600],
+            runs=2,
+        )
+        for row in rows:
+            assert row == [92, 292, 592]  # 8 seed units once, ever
+
+    def test_reproducible_and_prefix_stable(self):
+        from repro.experiments.runner import replicate_incremental
+        from repro.generators.ba import barabasi_albert
+        from repro.sampling import SingleRandomWalk
+
+        graph = barabasi_albert(300, 2, rng=3)
+        sampler = SingleRandomWalk()
+
+        def start(rng):
+            return sampler.start(graph, rng)
+
+        def measure(session, budget):
+            return tuple(session.trace().edges[-3:])
+
+        a = replicate_incremental(start, measure, [50, 120], 3, root_seed=9)
+        b = replicate_incremental(start, measure, [50, 120], 3, root_seed=9)
+        assert a == b
+        longer = replicate_incremental(
+            start, measure, [50, 120], 5, root_seed=9
+        )
+        assert longer[:3] == a
+
+    def test_invalid_budgets_rejected(self):
+        from repro.experiments.runner import replicate_incremental
+
+        with pytest.raises(ValueError):
+            replicate_incremental(
+                self._start_counter, lambda s, b: None, [], 2
+            )
+        with pytest.raises(ValueError):
+            replicate_incremental(
+                self._start_counter, lambda s, b: None, [50, 20], 2
+            )
+        with pytest.raises(ValueError):
+            replicate_incremental(
+                self._start_counter, lambda s, b: None, [10], 0
+            )

@@ -64,3 +64,89 @@ class TestParsing:
         path.write_text("0 9\n")
         graph = read_edge_list(path)
         assert graph.num_vertices == 10
+
+
+class TestCsrNpyPersistence:
+    """mmap-able binary CSR files: <stem>.indptr.npy + <stem>.indices.npy."""
+
+    def test_round_trip_from_graph(self, tmp_path, house):
+        from repro.graph.io import load_csr_npy, save_csr_npy
+
+        indptr_path, indices_path = save_csr_npy(house, tmp_path / "house")
+        assert indptr_path.name == "house.indptr.npy"
+        assert indices_path.name == "house.indices.npy"
+        loaded = load_csr_npy(tmp_path / "house")
+        assert loaded.num_vertices == house.num_vertices
+        assert loaded.num_edges == house.num_edges
+        assert sorted(loaded.edges()) == sorted(house.edges())
+        # neighbor order preserved, so walks are reproducible
+        for v in house.vertices():
+            assert loaded.neighbors(v).tolist() == house.neighbors(v)
+
+    def test_round_trip_from_csr(self, tmp_path, house):
+        from repro.graph.csr import get_csr
+        from repro.graph.io import load_csr_npy, save_csr_npy
+
+        csr = get_csr(house)
+        save_csr_npy(csr, tmp_path / "g")
+        loaded = load_csr_npy(tmp_path / "g", mmap=False)
+        assert (loaded.indptr == csr.indptr).all()
+        assert (loaded.indices == csr.indices).all()
+
+    def test_mmap_arrays_are_read_only_file_views(self, tmp_path, house):
+        import mmap as mmap_module
+
+        import numpy as np
+
+        from repro.graph.io import load_csr_npy, save_csr_npy
+
+        save_csr_npy(house, tmp_path / "g")
+        loaded = load_csr_npy(tmp_path / "g", mmap=True)
+        for array in (loaded.indptr, loaded.indices):
+            assert array.dtype == np.int64
+            # backed by the file, not a heap copy
+            assert not array.flags.owndata
+            base = array
+            while isinstance(base, np.ndarray) and base.base is not None:
+                base = base.base
+            assert isinstance(base, (np.memmap, mmap_module.mmap))
+            assert not array.flags.writeable
+            with pytest.raises((ValueError, OSError)):
+                array[0] = 99
+
+    def test_mmap_graph_is_walkable(self, tmp_path):
+        from repro.generators.ba import barabasi_albert
+        from repro.graph.io import load_csr_npy, save_csr_npy
+        from repro.sampling import FrontierSampler
+
+        graph = barabasi_albert(500, 3, rng=1)
+        save_csr_npy(graph, tmp_path / "ba")
+        mmapped = load_csr_npy(tmp_path / "ba")
+        trace = FrontierSampler(8).sample(mmapped, 300, rng=7)
+        reference = FrontierSampler(8, backend="csr").sample(
+            graph, 300, rng=7
+        )
+        assert trace.edges == reference.edges
+
+    def test_missing_files_raise(self, tmp_path):
+        from repro.graph.io import load_csr_npy
+
+        with pytest.raises(FileNotFoundError):
+            load_csr_npy(tmp_path / "nope")
+
+    def test_validate_flag_catches_corrupt_indices(self, tmp_path, house):
+        import numpy as np
+
+        from repro.graph.io import load_csr_npy, save_csr_npy
+
+        indptr_path, indices_path = save_csr_npy(house, tmp_path / "g")
+        corrupt = np.load(indices_path)
+        corrupt[0] = 10_000  # out-of-range vertex id
+        np.save(indices_path, corrupt)
+        # in-memory loads validate by default
+        with pytest.raises(ValueError, match="out-of-range"):
+            load_csr_npy(tmp_path / "g", mmap=False)
+        # mmap loads skip the scan by default but can opt in
+        load_csr_npy(tmp_path / "g", mmap=True)
+        with pytest.raises(ValueError, match="out-of-range"):
+            load_csr_npy(tmp_path / "g", mmap=True, validate=True)

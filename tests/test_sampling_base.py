@@ -118,3 +118,64 @@ class TestWalkSteps:
     def test_negative_seed_cost_rejected(self):
         with pytest.raises(ValueError):
             walk_steps(10, 1, -1.0)
+
+
+class TestStepsWithinBudget:
+    """The consolidated budget→steps rule (shared + split accounting)."""
+
+    def test_shared_matches_walk_steps(self):
+        from repro.sampling.base import steps_within_budget
+
+        for budget in (0, 5, 10.7, 1000, 12345.9):
+            for walkers in (1, 3, 10):
+                for cost in (0.0, 0.5, 1.0, 10.0):
+                    assert steps_within_budget(
+                        budget, walkers, cost
+                    ) == walk_steps(budget, walkers, cost)
+
+    def test_split_matches_multiple_walk_steps(self):
+        from repro.sampling.base import (
+            multiple_walk_steps,
+            steps_within_budget,
+        )
+
+        for budget in (0, 5, 10.7, 1000, 12345.9):
+            for walkers in (1, 3, 10):
+                for cost in (0.0, 0.5, 1.0, 10.0):
+                    assert steps_within_budget(
+                        budget, walkers, cost, split=True
+                    ) == multiple_walk_steps(budget, walkers, cost)
+
+    def test_fractional_budget_truncates(self):
+        from repro.sampling.base import steps_within_budget
+
+        # shared: int(B - m*c) truncates toward zero
+        assert steps_within_budget(10.9, 2, 1.0) == 8
+        assert steps_within_budget(10.2, 2, 1.0) == 8
+        # split: int(B/m - c) per walker
+        assert steps_within_budget(10.9, 2, 1.0, split=True) == 4
+        assert steps_within_budget(9.9, 2, 1.0, split=True) == 3
+
+    def test_fractional_seed_cost(self):
+        from repro.sampling.base import steps_within_budget
+
+        # Section 6.4's seed_cost = 1/hit_ratio is rarely integral
+        assert steps_within_budget(100, 8, 2.5) == 80
+        assert steps_within_budget(100, 8, 2.5, split=True) == 10
+        assert steps_within_budget(100, 8, 12.5, split=True) == 0
+
+    def test_floors_at_zero_both_modes(self):
+        from repro.sampling.base import steps_within_budget
+
+        assert steps_within_budget(3, 10, 1.0) == 0
+        assert steps_within_budget(3, 10, 1.0, split=True) == 0
+
+    def test_invalid_arguments_rejected(self):
+        from repro.sampling.base import steps_within_budget
+
+        with pytest.raises(ValueError):
+            steps_within_budget(-1, 1, 1.0)
+        with pytest.raises(ValueError):
+            steps_within_budget(10, 0, 1.0)
+        with pytest.raises(ValueError):
+            steps_within_budget(10, 1, -0.5)

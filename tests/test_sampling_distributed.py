@@ -76,14 +76,11 @@ class TestEquivalenceWithFS:
             graph, [0, 7], steps, rng=11
         )
         dfs = DistributedFrontierSampler(2)
-        seeds = [0, 7]
-        import random as _random
-
-        dfs_edges, dfs_per_walker, _ = dfs._run(
-            graph, seeds, steps, _random.Random(12)
-        )
+        session = dfs.start(graph, rng=12, initial_vertices=[0, 7])
+        session.advance(steps)
+        dfs_trace = session.trace()
         fs_share = len(fs_trace.per_walker[0]) / steps
-        dfs_share = len(dfs_per_walker[0]) / steps
+        dfs_share = len(dfs_trace.per_walker[0]) / steps
         assert fs_share == pytest.approx(0.5, abs=0.03)
         assert dfs_share == pytest.approx(0.5, abs=0.03)
 

@@ -1,0 +1,205 @@
+#!/usr/bin/env python3
+"""Benchmark-regression trend check against a committed baseline.
+
+CI uploads a pytest-benchmark report (``BENCH_ci.json``) on every run;
+this tool compares the walker-kernel benchmarks in the current report
+against the baseline committed at ``benchmarks/BENCH_baseline.json``
+and fails (exit 1) when any of them slowed down by more than the
+threshold (default 1.3x = +30%).  That turns the per-run artifact into
+an actual trend gate: a kernel regression fails the build instead of
+merely shrinking the 5x backend-speedup margin.
+
+To stay meaningful across machines (laptops, different GitHub runner
+generations), the gate compares *normalized* timings: each gated
+benchmark's best-of-run time is divided by the same report's
+``test_fs_list_backend`` time — the interpreted pure-Python walker,
+whose speed tracks the host machine.  A kernel that regresses 2x trips
+the gate on any machine; a uniformly slower runner cancels out.
+
+Usage:
+
+    python tools/check_bench_trend.py \\
+        [--current BENCH_ci.json] \\
+        [--baseline benchmarks/BENCH_baseline.json] \\
+        [--threshold 1.3] [--pattern test_fs_] \\
+        [--reference test_fs_list_backend] [--update]
+
+``--update`` rewrites the baseline from the current report (run it
+after an intentional kernel change and commit the result).  Benchmarks
+present on only one side are reported but never fail the check, so
+adding or retiring benchmarks does not break CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_BASELINE = REPO_ROOT / "benchmarks" / "BENCH_baseline.json"
+#: Substring selecting the walker-kernel benchmarks that gate the build.
+DEFAULT_PATTERN = "test_fs_"
+#: The interpreted walker: the machine-speed yardstick everything else
+#: is normalized by.
+DEFAULT_REFERENCE = "test_fs_list_backend"
+
+
+def extract_timings(report_path: Path, pattern: str) -> dict:
+    """``{benchmark name: min seconds}`` for benchmarks matching pattern."""
+    with open(report_path, "r", encoding="utf-8") as handle:
+        report = json.load(handle)
+    timings = {}
+    for bench in report.get("benchmarks", []):
+        name = bench.get("name", "")
+        if pattern in name:
+            timings[name] = float(bench["stats"]["min"])
+    return timings
+
+
+def normalize(timings: dict, reference: str) -> dict:
+    """Each gated timing divided by the reference benchmark's timing."""
+    if reference not in timings:
+        raise KeyError(
+            f"reference benchmark {reference!r} missing from the report;"
+            " cannot normalize"
+        )
+    yardstick = timings[reference]
+    return {
+        name: seconds / yardstick
+        for name, seconds in timings.items()
+        if name != reference
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--current",
+        type=Path,
+        default=Path("BENCH_ci.json"),
+        help="pytest-benchmark JSON report from the current run",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=DEFAULT_BASELINE,
+        help="committed baseline (see --update)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=1.3,
+        help="fail when current/baseline exceeds this ratio (default 1.3)",
+    )
+    parser.add_argument(
+        "--pattern",
+        default=DEFAULT_PATTERN,
+        help="substring selecting the gated benchmarks"
+        f" (default {DEFAULT_PATTERN!r})",
+    )
+    parser.add_argument(
+        "--reference",
+        default=DEFAULT_REFERENCE,
+        help="benchmark used as the machine-speed yardstick"
+        f" (default {DEFAULT_REFERENCE!r})",
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="rewrite the baseline from the current report and exit",
+    )
+    args = parser.parse_args(argv)
+
+    timings = extract_timings(args.current, args.pattern)
+    if not timings:
+        print(
+            f"no benchmarks matching {args.pattern!r} in {args.current};"
+            " nothing to check",
+            file=sys.stderr,
+        )
+        return 1
+    try:
+        current = normalize(timings, args.reference)
+    except KeyError as error:
+        print(str(error), file=sys.stderr)
+        return 1
+    if not current:
+        print(
+            f"only the reference benchmark matched {args.pattern!r};"
+            " nothing to gate",
+            file=sys.stderr,
+        )
+        return 1
+
+    if args.update:
+        args.baseline.parent.mkdir(parents=True, exist_ok=True)
+        with open(args.baseline, "w", encoding="utf-8") as handle:
+            json.dump(
+                {
+                    "pattern": args.pattern,
+                    "reference": args.reference,
+                    "normalized_min": current,
+                },
+                handle,
+                indent=2,
+                sort_keys=True,
+            )
+            handle.write("\n")
+        print(f"baseline updated: {args.baseline} ({len(current)} entries)")
+        return 0
+
+    if not args.baseline.exists():
+        print(
+            f"no baseline at {args.baseline}; run with --update to"
+            " create one",
+            file=sys.stderr,
+        )
+        return 1
+    with open(args.baseline, "r", encoding="utf-8") as handle:
+        baseline_file = json.load(handle)
+    baseline = baseline_file["normalized_min"]
+    if baseline_file.get("reference") != args.reference:
+        print(
+            f"baseline was normalized by"
+            f" {baseline_file.get('reference')!r}, not {args.reference!r};"
+            " regenerate it with --update",
+            file=sys.stderr,
+        )
+        return 1
+
+    failures = []
+    print(f"normalized by {args.reference} = {timings[args.reference]:.4f}s")
+    print(f"{'benchmark':<40} {'baseline':>10} {'current':>10} {'ratio':>7}")
+    for name in sorted(set(current) | set(baseline)):
+        if name not in baseline:
+            print(f"{name:<40} {'-':>10} {current[name]:>10.4f}     new")
+            continue
+        if name not in current:
+            print(f"{name:<40} {baseline[name]:>10.4f} {'-':>10} retired")
+            continue
+        ratio = current[name] / baseline[name]
+        verdict = "ok" if ratio <= args.threshold else "REGRESSED"
+        print(
+            f"{name:<40} {baseline[name]:>10.4f} {current[name]:>10.4f}"
+            f" {ratio:>6.2f}x {verdict}"
+        )
+        if ratio > args.threshold:
+            failures.append((name, ratio))
+
+    if failures:
+        worst = max(failures, key=lambda pair: pair[1])
+        print(
+            f"\nFAIL: {len(failures)} walker-kernel benchmark(s) slowed"
+            f" beyond {args.threshold}x relative to {args.reference}"
+            f" (worst: {worst[0]} at {worst[1]:.2f}x)",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"\nOK: all gated benchmarks within {args.threshold}x of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
