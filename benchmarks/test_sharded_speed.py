@@ -1,0 +1,151 @@
+"""Sharded-FS scaling gate: multi-process vs single-process throughput.
+
+The workload is the paper's own wide-frontier regime — ``m = 1000``
+walkers (the dimension the budget figures use), 10^5 merged FS steps
+over a ~100k-node Barabasi-Albert graph.  Unlike the other benchmarks
+this one pins its scale: the acceptance gate is defined on the
+10^5-step workload, so ``REPRO_BENCH_SCALE`` does not shrink it (the
+whole run is a few seconds).
+
+Gate: with the native kernels available and >= 4 CPU cores, the
+sharded engine at 4 worker processes must sustain >= 2x the
+steady-state throughput of the single-process csr ``FrontierSampler``
+on the identical workload.  On narrower machines the measurement still
+runs and is recorded, but the multi-core assertion is skipped — there
+is nothing honest a 1-core box can assert about 4-way parallelism.
+
+Bit-reproducibility is asserted unconditionally: the merged trace for
+a fixed ``(seed, n_procs)`` is identical across repeated runs, and
+identical between shard-count 1 and 4 (the per-walker stream scheme
+guarantees shard-count invariance; see ``sampling/sharded.py``).
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+
+import numpy as np
+import pytest
+
+from repro.generators.ba import barabasi_albert
+from repro.graph.csr import get_csr
+from repro.sampling import _native
+from repro.sampling.frontier import FrontierSampler
+from repro.sampling.sharded import ShardedFrontierSampler
+
+NUM_VERTICES = 100_000
+NUM_STEPS = 100_000
+DIMENSION = 1_000
+PROCS = 4
+SPEEDUP_FLOOR = 2.0
+
+
+@pytest.fixture(scope="module")
+def ba_graph():
+    graph = barabasi_albert(NUM_VERTICES, 3, rng=1)
+    return get_csr(graph)
+
+
+@pytest.fixture(scope="module")
+def walker_seeds():
+    picker = random.Random(3)
+    return [picker.randrange(NUM_VERTICES) for _ in range(DIMENSION)]
+
+
+def best_of(repeats, fn):
+    timings = []
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        timings.append(time.perf_counter() - started)
+    return min(timings)
+
+
+def steady_seconds(session, repeats=3):
+    """Best-of steady-state cost of one 10^5-step advance (drained)."""
+
+    def advance_once():
+        session.advance(NUM_STEPS)
+        session.take_trace()
+
+    session.advance(2_000)  # warm caches, pool workers, mmap pages
+    session.take_trace()
+    return best_of(repeats, advance_once)
+
+
+def test_sharded_merge_is_bit_reproducible(ba_graph, walker_seeds):
+    """Fixed (seed, n_procs): repeated runs and shard counts agree."""
+    sampler_one = ShardedFrontierSampler(
+        DIMENSION, procs=1, use_processes=False
+    )
+    sampler_four = ShardedFrontierSampler(
+        DIMENSION, procs=PROCS, use_processes=False
+    )
+    steps = 20_000  # parity leg: enough to cross many event blocks
+    first = sampler_one.sample_from(ba_graph, walker_seeds, steps, rng=7)
+    again = sampler_one.sample_from(ba_graph, walker_seeds, steps, rng=7)
+    sharded = sampler_four.sample_from(ba_graph, walker_seeds, steps, rng=7)
+    for other in (again, sharded):
+        assert (first.step_sources == other.step_sources).all()
+        assert (first.step_targets == other.step_targets).all()
+        assert (first.step_walkers == other.step_walkers).all()
+        assert (first.step_times == other.step_times).all()
+    assert np.all(np.diff(first.step_times) >= 0)
+
+
+def test_sharded_fs_scaling(ba_graph, walker_seeds, save_result):
+    fs_session = FrontierSampler(DIMENSION, backend="csr").start(
+        ba_graph, rng=7, initial_vertices=walker_seeds
+    )
+    fs_seconds = steady_seconds(fs_session)
+
+    inline = ShardedFrontierSampler(
+        DIMENSION, procs=1, use_processes=False
+    ).start(ba_graph, rng=7, initial_vertices=walker_seeds)
+    inline_seconds = steady_seconds(inline)
+    inline.close()
+
+    pooled = ShardedFrontierSampler(DIMENSION, procs=PROCS).start(
+        ba_graph, rng=7, initial_vertices=walker_seeds
+    )
+    pooled_seconds = steady_seconds(pooled)
+    pooled.close()
+
+    cores = os.cpu_count() or 1
+    inline_ratio = fs_seconds / inline_seconds
+    pooled_ratio = fs_seconds / pooled_seconds
+    per_step = 1e6 / NUM_STEPS
+    save_result(
+        "sharded_speed",
+        "\n".join(
+            [
+                f"Sharded FS throughput ({NUM_STEPS} steps, m={DIMENSION},"
+                f" BA n={NUM_VERTICES}, {cores} cores,"
+                f" native kernels: {_native.available()})",
+                f"  single-process csr FS:   {fs_seconds * 1e3:8.1f} ms"
+                f" ({fs_seconds * per_step:.2f} us/step)",
+                f"  sharded, 1 proc inline:  {inline_seconds * 1e3:8.1f} ms"
+                f" ({inline_ratio:.2f}x)",
+                f"  sharded, {PROCS} procs spawn:  {pooled_seconds * 1e3:8.1f} ms"
+                f" ({pooled_ratio:.2f}x, floor {SPEEDUP_FLOOR}x)",
+            ]
+        ),
+    )
+    if not _native.available():
+        pytest.skip(
+            "no native kernels: single-process FS runs its pure-Python"
+            f" fallback, measured {pooled_ratio:.1f}x (not comparable)"
+        )
+    if cores < PROCS:
+        pytest.skip(
+            f"only {cores} CPU core(s): the {PROCS}-process gate needs"
+            f" {PROCS}; measured {pooled_ratio:.2f}x pooled,"
+            f" {inline_ratio:.2f}x inline"
+        )
+    assert pooled_ratio >= SPEEDUP_FLOOR, (
+        f"sharded FS at {PROCS} procs is only {pooled_ratio:.2f}x the"
+        f" single-process csr FS throughput (floor {SPEEDUP_FLOOR}x;"
+        f" inline 1-proc ratio {inline_ratio:.2f}x)"
+    )

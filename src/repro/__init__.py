@@ -45,6 +45,8 @@ from repro.sampling import (
     MultipleRandomWalk,
     RandomEdgeSampler,
     RandomVertexSampler,
+    ShardedFrontierSampler,
+    ShardedSessionPool,
     SingleRandomWalk,
 )
 
@@ -59,6 +61,8 @@ __all__ = [
     "MultipleRandomWalk",
     "RandomEdgeSampler",
     "RandomVertexSampler",
+    "ShardedFrontierSampler",
+    "ShardedSessionPool",
     "SingleRandomWalk",
     "barabasi_albert",
     "configuration_model",

@@ -17,7 +17,7 @@ from repro.experiments.degree_errors import (
     DegreeErrorResult,
     degree_error_experiment,
 )
-from repro.experiments.runner import replicate
+from repro.experiments.runner import replicate, replicate_traces
 from repro.experiments.samplepaths import SamplePathResult, sample_paths
 
 __all__ = [
@@ -25,5 +25,6 @@ __all__ = [
     "SamplePathResult",
     "degree_error_experiment",
     "replicate",
+    "replicate_traces",
     "sample_paths",
 ]

@@ -80,9 +80,17 @@ def _build_sampler(args):
         FrontierSampler,
         MetropolisHastingsWalk,
         MultipleRandomWalk,
+        ShardedFrontierSampler,
         SingleRandomWalk,
     )
 
+    if args.procs is not None and args.procs > 1:
+        if args.sampler != "fs":
+            raise SystemExit(
+                "--procs > 1 shards the frontier across processes and"
+                " therefore requires --sampler fs"
+            )
+        return ShardedFrontierSampler(args.dimension, procs=args.procs)
     if args.sampler == "fs":
         return FrontierSampler(args.dimension, backend=args.backend)
     if args.sampler == "srw":
@@ -167,6 +175,16 @@ def _sample_main(argv) -> int:
         help="sampling backend (default list; ignored with --resume)",
     )
     parser.add_argument(
+        "--procs",
+        type=int,
+        default=None,
+        help="shard the FS frontier across this many worker processes"
+        " (fs only; workers share the graph via mmap'd CSR buffers;"
+        " default 1 = single-process; with --resume, re-pins the"
+        " checkpointed session's worker count — the merged trace is"
+        " shard-count-invariant, so this never changes results)",
+    )
+    parser.add_argument(
         "--chunk",
         type=float,
         default=10_000,
@@ -185,6 +203,8 @@ def _sample_main(argv) -> int:
     args = parser.parse_args(argv)
     if args.chunk <= 0:
         parser.error("--chunk must be > 0")
+    if args.procs is not None and args.procs < 1:
+        parser.error("--procs must be >= 1")
 
     graph = _load_graph(args)
     print(
@@ -193,10 +213,25 @@ def _sample_main(argv) -> int:
     )
 
     if args.resume:
+        from repro.sampling.sharded import ShardedFrontierSession
+
         with open(args.resume, "rb") as handle:
             payload = pickle.load(handle)
         session = payload["session"]
         session.attach(graph)
+        if args.procs is not None:
+            # Shard count is a deployment knob, not a statistics knob:
+            # the merged trace is shard-count-invariant, so re-pinning
+            # it on resume (e.g. on a machine with different cores) is
+            # always safe.
+            if isinstance(session, ShardedFrontierSession):
+                session.procs = args.procs
+            elif args.procs > 1:
+                raise SystemExit(
+                    f"--procs {args.procs} requires a sharded FS"
+                    " checkpoint; this one holds a"
+                    f" {session.method} session"
+                )
         accumulators = payload["accumulators"]
         for accumulator in accumulators.values():
             accumulator.attach(graph)
@@ -215,46 +250,51 @@ def _sample_main(argv) -> int:
         }
         print(f"started {session.method} session (seed {args.seed})")
 
-    while session.spent() < args.budget:
-        before = session.spent()
-        session.advance_budget(min(args.budget, before + args.chunk))
-        increment = session.take_trace()
-        for accumulator in accumulators.values():
-            accumulator.update(increment)
-        if session.spent() == before:
-            break  # budget change too small to buy another step
-        try:
-            average = accumulators["average_degree"].estimate()
-            estimate = f"avg degree ~ {average:.3f}"
-        except ValueError:
-            estimate = "no samples yet"
-        print(
-            f"  spent {session.spent():>12,.0f}"
-            f"  steps {session.steps_taken:>10,}  {estimate}"
-        )
-
-    print(
-        f"session done: {session.steps_taken:,} steps,"
-        f" {session.spent():,.0f} of {args.budget:,.0f} budget spent"
-    )
     try:
-        size = accumulators["size"]
-        print(
-            f"estimates: |V| ~ {size.num_vertices():,.0f}"
-            f" (true {graph.num_vertices:,}),"
-            f" |E| ~ {size.num_edges():,.0f} (true {graph.num_edges:,})"
-        )
-    except ValueError as error:
-        print(f"size estimate unavailable: {error}")
-
-    if args.checkpoint:
-        with open(args.checkpoint, "wb") as handle:
-            pickle.dump(
-                {"session": session, "accumulators": accumulators},
-                handle,
-                protocol=pickle.HIGHEST_PROTOCOL,
+        while session.spent() < args.budget:
+            before = session.spent()
+            session.advance_budget(min(args.budget, before + args.chunk))
+            increment = session.take_trace()
+            for accumulator in accumulators.values():
+                accumulator.update(increment)
+            if session.spent() == before:
+                break  # budget change too small to buy another step
+            try:
+                average = accumulators["average_degree"].estimate()
+                estimate = f"avg degree ~ {average:.3f}"
+            except ValueError:
+                estimate = "no samples yet"
+            print(
+                f"  spent {session.spent():>12,.0f}"
+                f"  steps {session.steps_taken:>10,}  {estimate}"
             )
-        print(f"checkpoint written to {args.checkpoint}")
+
+        print(
+            f"session done: {session.steps_taken:,} steps,"
+            f" {session.spent():,.0f} of {args.budget:,.0f} budget spent"
+        )
+        try:
+            size = accumulators["size"]
+            print(
+                f"estimates: |V| ~ {size.num_vertices():,.0f}"
+                f" (true {graph.num_vertices:,}),"
+                f" |E| ~ {size.num_edges():,.0f} (true {graph.num_edges:,})"
+            )
+        except ValueError as error:
+            print(f"size estimate unavailable: {error}")
+
+        if args.checkpoint:
+            with open(args.checkpoint, "wb") as handle:
+                pickle.dump(
+                    {"session": session, "accumulators": accumulators},
+                    handle,
+                    protocol=pickle.HIGHEST_PROTOCOL,
+                )
+            print(f"checkpoint written to {args.checkpoint}")
+    finally:
+        closer = getattr(session, "close", None)
+        if closer is not None:  # sharded sessions own a pool + temp spill
+            closer()
     return 0
 
 

@@ -26,6 +26,8 @@ from typing import Callable, List, Optional, Sequence, TypeVar
 from repro.sampling.base import Backend, use_backend
 from repro.util.rng import child_rng
 
+__all__ = ["replicate", "replicate_incremental", "replicate_traces"]
+
 T = TypeVar("T")
 S = TypeVar("S")
 
@@ -88,3 +90,28 @@ def replicate_incremental(
                 row.append(measure(session, budget))
             results.append(row)
     return results
+
+
+def replicate_traces(
+    sampler,
+    graph,
+    budget: float,
+    runs: int,
+    root_seed: int = 0,
+    procs: int = 1,
+) -> List:
+    """Replicated one-shot traces, optionally fanned out across processes.
+
+    ``procs <= 1`` runs the replication in-process; ``procs > 1``
+    dispatches the runs to a spawn-safe worker pool
+    (:class:`~repro.sampling.sharded.ShardedSessionPool`) sharing the
+    graph through mmap'd read-only CSR buffers.  Both paths run each
+    replicate as ``sampler.sample(graph, budget, child_rng(root_seed,
+    index))`` on the csr backend with identical stream derivation, so
+    the returned traces are bit-identical regardless of ``procs`` —
+    parallelism is a deployment knob, never a statistics change.
+    """
+    from repro.sampling.sharded import ShardedSessionPool
+
+    with ShardedSessionPool(graph, procs=procs) as pool:
+        return pool.run(sampler, budget, runs, root_seed=root_seed)

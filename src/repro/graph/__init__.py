@@ -29,6 +29,8 @@ from repro.graph.io import (
     load_csr_npy,
     read_edge_list,
     save_csr_npy,
+    shared_csr_stem,
+    spill_csr_npy,
     write_edge_list,
 )
 from repro.graph.labels import EdgeLabeling, VertexLabeling
@@ -52,6 +54,8 @@ __all__ = [
     "load_csr_npy",
     "read_edge_list",
     "save_csr_npy",
+    "shared_csr_stem",
+    "spill_csr_npy",
     "summarize",
     "write_edge_list",
 ]

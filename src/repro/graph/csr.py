@@ -40,7 +40,7 @@ class CSRGraph:
     :class:`Graph`; convert once when the crawl/generation phase ends.
     """
 
-    __slots__ = ("indptr", "indices", "_list_cache")
+    __slots__ = ("indptr", "indices", "_list_cache", "mmap_stem")
 
     def __init__(
         self,
@@ -80,6 +80,11 @@ class CSRGraph:
         #: kernels (Python list indexing is faster than numpy scalar
         #: indexing in interpreted loops).
         self._list_cache: Optional[Tuple[List[int], List[int]]] = None
+        #: Stem of the ``.npy`` pair this graph was mmap'd from, if any
+        #: (set by :func:`repro.graph.io.load_csr_npy`); lets worker
+        #: processes reopen the same read-only buffers instead of
+        #: pickling the arrays.
+        self.mmap_stem: Optional[str] = None
 
     # ------------------------------------------------------------------
     # construction

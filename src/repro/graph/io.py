@@ -20,6 +20,7 @@ so the kernel pages neighbor rows in on demand.  ``.npy`` rather than
 
 from __future__ import annotations
 
+import tempfile
 from pathlib import Path
 from typing import Iterator, Optional, Tuple, Union
 
@@ -137,7 +138,55 @@ def load_csr_npy(
     indices = np.load(indices_path, mmap_mode=mode)
     if validate is None:
         validate = not mmap
-    return CSRGraph(indptr, indices, validate=validate)
+    graph = CSRGraph(indptr, indices, validate=validate)
+    if mmap:
+        # Only an mmap'd graph is actually backed by these files; an
+        # in-memory (mmap=False) load is an independent copy, and
+        # recording the stem would let the sharing layer hand workers
+        # files that may since have diverged from the arrays in hand.
+        graph.mmap_stem = str(Path(stem).resolve())
+    return graph
+
+
+def spill_csr_npy(
+    graph: Union[Graph, CSRGraph], directory: Optional[PathLike] = None
+) -> Path:
+    """Spill ``graph`` to disk as an mmap-able CSR pair; return the stem.
+
+    Writes ``graph/graph.indptr.npy`` + ``graph/graph.indices.npy``
+    under ``directory`` (a fresh private temp directory when ``None``)
+    so worker processes can reopen the graph read-only via
+    :func:`load_csr_npy` instead of pickling the arrays across the
+    process boundary.  The caller owns cleanup of the returned stem's
+    parent directory.
+    """
+    base = (
+        Path(tempfile.mkdtemp(prefix="repro-csr-"))
+        if directory is None
+        else Path(directory)
+    )
+    stem = base / "graph"
+    save_csr_npy(graph, stem)
+    return stem
+
+
+def shared_csr_stem(
+    graph: Union[Graph, CSRGraph],
+) -> Tuple[Path, Optional[Path]]:
+    """``(stem, owned_tempdir)`` locating shareable CSR buffers for ``graph``.
+
+    A graph already backed by mmap'd ``.npy`` files (its
+    :attr:`~repro.graph.csr.CSRGraph.mmap_stem` is set) is shared in
+    place — ``owned_tempdir`` is ``None`` and nothing is written.  Any
+    other graph is spilled to a fresh temp directory, returned as
+    ``owned_tempdir`` so the caller can remove it when the sharing
+    session ends.
+    """
+    csr = get_csr(graph)
+    if csr.mmap_stem is not None:
+        return Path(csr.mmap_stem), None
+    stem = spill_csr_npy(csr)
+    return stem, stem.parent
 
 
 def write_edge_list(

@@ -40,6 +40,10 @@ from repro.sampling.independent import RandomEdgeSampler, RandomVertexSampler
 from repro.sampling.metropolis import MetropolisHastingsWalk
 from repro.sampling.multiple import MultipleRandomWalk
 from repro.sampling.session import SamplerSession, load_session
+from repro.sampling.sharded import (
+    ShardedFrontierSampler,
+    ShardedSessionPool,
+)
 from repro.sampling.single import SingleRandomWalk
 from repro.sampling.vectorized import (
     ArrayMetropolisTrace,
@@ -60,6 +64,8 @@ __all__ = [
     "Sampler",
     "SamplerSession",
     "SeedingMode",
+    "ShardedFrontierSampler",
+    "ShardedSessionPool",
     "SingleRandomWalk",
     "VertexTrace",
     "WalkTrace",

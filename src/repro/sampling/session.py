@@ -38,6 +38,7 @@ when available), never a Python per-step loop.
 from __future__ import annotations
 
 import abc
+import copy
 import heapq
 import pickle
 from pathlib import Path
@@ -67,9 +68,40 @@ from repro.util.rng import RngLike, ensure_np_rng, ensure_rng
 PathLike = Union[str, Path]
 
 
-def _graph_signature(graph) -> Tuple[int, int]:
-    """(num_vertices, num_edges) — the compatibility check for resume."""
-    return (graph.num_vertices, graph.num_edges)
+def _graph_signature(graph) -> Tuple[int, int, Optional[int]]:
+    """(num_vertices, num_edges, version) — the resume compatibility check.
+
+    ``version`` is the graph's mutation counter
+    (:attr:`repro.graph.graph.Graph.version`; ``None`` for the
+    immutable :class:`~repro.graph.csr.CSRGraph`, whose array shapes
+    are already pinned by the first two fields).  Including it catches
+    count-preserving mutations — a ``remove_edge`` + ``add_edge`` pair
+    leaves ``(num_vertices, num_edges)`` untouched but reorders
+    neighbor rows, which would silently corrupt a resumed walk.
+    """
+    version = getattr(graph, "version", None)
+    return (graph.num_vertices, graph.num_edges, version)
+
+
+def _signatures_compatible(expected, actual) -> bool:
+    """Whether a checkpoint signature accepts the attach candidate.
+
+    Counts must always match.  The version field is compared only when
+    *both* sides carry a mutation counter: pre-version checkpoints
+    stored a 2-tuple, and the immutable :class:`CSRGraph` has no
+    counter (its ``None`` must not block reattaching a list-backend
+    checkpoint to the structurally identical CSR form, or vice versa).
+    """
+    expected = tuple(expected)
+    if expected[:2] != actual[:2]:
+        return False
+    if len(expected) < 3:
+        return True
+    return (
+        expected[2] is None
+        or actual[2] is None
+        or expected[2] == actual[2]
+    )
 
 
 class SamplerSession(abc.ABC):
@@ -222,6 +254,20 @@ class SamplerSession(abc.ABC):
         """
         return self.__getstate__()
 
+    def snapshot(self) -> dict:
+        """A *deep-copied* picklable snapshot of the session.
+
+        Unlike :attr:`state` — a cheap view sharing mutable members
+        with the live session — the snapshot is fully independent:
+        advancing the session afterwards cannot alias into it, and two
+        restores from one snapshot cannot alias into each other.  Use
+        it whenever a state dict outlives the live session (forking
+        session state to another process, diffing a session against
+        its earlier self); :meth:`save` already gets the same
+        isolation from pickling.
+        """
+        return copy.deepcopy(self.__getstate__())
+
     def __getstate__(self) -> dict:
         state = self.__dict__.copy()
         if self._graph is not None:
@@ -244,12 +290,18 @@ class SamplerSession(abc.ABC):
         only reproducible against an identical graph).
         """
         expected = self.__dict__.get("_graph_signature")
-        if expected is not None and _graph_signature(graph) != tuple(expected):
+        actual = _graph_signature(graph)
+        if expected is not None and not _signatures_compatible(
+            expected, actual
+        ):
             # Leave the signature in place: a failed attach must not
             # disarm the check for a later attempt.
             raise ValueError(
-                f"graph signature {_graph_signature(graph)} does not match"
-                f" the checkpointed session's {tuple(expected)}"
+                f"graph signature {actual} does not match the"
+                f" checkpointed session's {tuple(expected)}; the graph"
+                " mutated since save() (or is not the graph the session"
+                " was started on) — resumed walks would silently produce"
+                " garbage, so reattach is refused"
             )
         self.__dict__.pop("_graph_signature", None)
         self._graph = graph
@@ -521,6 +573,15 @@ class MetropolisWalkSession(_ListSession):
 # ----------------------------------------------------------------------
 # csr backend: each advance is one stride through the batch kernels
 # ----------------------------------------------------------------------
+def concat_chunks(chunks: List[np.ndarray]) -> np.ndarray:
+    """Concatenate step-record chunks (empty list -> empty int64)."""
+    if not chunks:
+        return np.empty(0, dtype=np.int64)
+    if len(chunks) == 1:
+        return chunks[0]
+    return np.concatenate(chunks)
+
+
 class _ArraySession(SamplerSession):
     """Shared chunk bookkeeping for the vectorized sessions.
 
@@ -561,13 +622,7 @@ class _ArraySession(SamplerSession):
         if self._walker_chunks is not None:
             self._walker_chunks.append(walkers)
 
-    @staticmethod
-    def _concat(chunks: List[np.ndarray]) -> np.ndarray:
-        if not chunks:
-            return np.empty(0, dtype=np.int64)
-        if len(chunks) == 1:
-            return chunks[0]
-        return np.concatenate(chunks)
+    _concat = staticmethod(concat_chunks)
 
     def trace(self) -> ArrayWalkTrace:
         return ArrayWalkTrace(

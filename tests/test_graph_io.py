@@ -93,6 +93,42 @@ class TestCsrNpyPersistence:
         assert (loaded.indptr == csr.indptr).all()
         assert (loaded.indices == csr.indices).all()
 
+    def test_mmap_stem_recorded_only_for_mmap_loads(self, tmp_path, house):
+        """An mmap=False load is an independent in-memory copy; it must
+        not claim to be backed by the files (the multi-process sharing
+        layer would otherwise hand workers a stem that can diverge
+        from the arrays in hand)."""
+        from repro.graph.csr import get_csr
+        from repro.graph.io import load_csr_npy, save_csr_npy
+
+        save_csr_npy(get_csr(house), tmp_path / "g")
+        assert load_csr_npy(tmp_path / "g", mmap=False).mmap_stem is None
+        mapped = load_csr_npy(tmp_path / "g", mmap=True)
+        assert mapped.mmap_stem == str((tmp_path / "g").resolve())
+
+    def test_shared_csr_stem_spills_and_reuses(self, tmp_path, house):
+        import shutil
+
+        from repro.graph.csr import get_csr
+        from repro.graph.io import (
+            load_csr_npy,
+            save_csr_npy,
+            shared_csr_stem,
+        )
+
+        csr = get_csr(house)
+        stem, owned = shared_csr_stem(csr)  # in-memory graph: spilled
+        assert owned is not None and owned.exists()
+        respilled = load_csr_npy(stem, mmap=False)
+        assert (respilled.indptr == csr.indptr).all()
+        shutil.rmtree(owned)
+
+        save_csr_npy(csr, tmp_path / "g")
+        mapped = load_csr_npy(tmp_path / "g", mmap=True)
+        stem, owned = shared_csr_stem(mapped)  # file-backed: in place
+        assert owned is None
+        assert stem == tmp_path / "g"
+
     def test_mmap_arrays_are_read_only_file_views(self, tmp_path, house):
         import mmap as mmap_module
 

@@ -171,6 +171,30 @@ class TestResumeDeterminism:
         )
         assert resumed.spent() == uninterrupted.spent()
 
+    @pytest.mark.parametrize(
+        "sampler", ALL_SAMPLERS, ids=lambda s: repr(s)
+    )
+    def test_resume_same_checkpoint_twice_is_identical(
+        self, graph, tmp_path, sampler
+    ):
+        """Two resumes of one checkpoint file must not alias.
+
+        Each ``load_session`` unpickles a fully independent session —
+        RNG state, walker positions and step records included — so
+        driving the first resume to completion cannot perturb the
+        second.  The two continuations must match bit for bit.
+        """
+        session = sampler.start(graph, rng=23)
+        session.advance_budget(60)
+        path = tmp_path / "ckpt.pkl"
+        session.save(path)
+        first = load_session(path, graph)
+        second = load_session(path, graph)
+        first.advance_budget(BUDGET)  # finish one before starting the other
+        second.advance_budget(BUDGET)
+        assert trace_key(first.trace()) == trace_key(second.trace())
+        assert first.spent() == second.spent()
+
     def test_attach_rejects_mismatched_graph(self, graph, tmp_path):
         session = FrontierSampler(6).start(graph, rng=1)
         session.advance(10)
@@ -179,6 +203,45 @@ class TestResumeDeterminism:
         other = barabasi_albert(200, 2, rng=6)
         with pytest.raises(ValueError, match="signature"):
             load_session(path, other)
+
+    def test_attach_rejects_graph_mutated_since_save(self, tmp_path):
+        """Satellite: a graph edited after save() must be refused.
+
+        ``add_edge`` changes the edge count *and* bumps
+        ``Graph.version``; either way the resumed walk would replay its
+        stream against different neighbor rows and silently produce
+        garbage, so ``load_session`` raises instead.
+        """
+        mutable = barabasi_albert(120, 2, rng=9)
+        session = FrontierSampler(4).start(mutable, rng=1)
+        session.advance(10)
+        path = tmp_path / "ckpt.pkl"
+        session.save(path)
+        added = next(
+            (u, v)
+            for u in mutable.vertices()
+            for v in mutable.vertices()
+            if u < v and not mutable.has_edge(u, v)
+        )
+        assert mutable.add_edge(*added)
+        with pytest.raises(ValueError, match="mutated"):
+            load_session(path, mutable)
+
+    def test_attach_rejects_count_preserving_mutation(self, tmp_path):
+        """remove_edge + add_edge keeps (|V|, |E|) but reorders
+        neighbor rows — the version field in the signature catches it."""
+        mutable = barabasi_albert(120, 2, rng=9)
+        session = FrontierSampler(4).start(mutable, rng=1)
+        session.advance(10)
+        path = tmp_path / "ckpt.pkl"
+        session.save(path)
+        edges_before = mutable.num_edges
+        u, v = next(iter(mutable.edges()))
+        assert mutable.remove_edge(u, v)
+        assert mutable.add_edge(u, v)
+        assert mutable.num_edges == edges_before  # counts alone can't tell
+        with pytest.raises(ValueError, match="mutated"):
+            load_session(path, mutable)
 
     def test_attach_guard_survives_a_failed_attempt(self, graph, tmp_path):
         """A rejected attach must not disarm the signature check."""
@@ -196,6 +259,47 @@ class TestResumeDeterminism:
             detached.attach(barabasi_albert(250, 2, rng=6))
         detached.attach(graph)  # the right graph still works
         assert detached.graph is graph
+
+    def test_attach_across_graph_representations(self, graph, tmp_path):
+        """A csr-backend checkpoint saved on a Graph must reattach to
+        the identical CSRGraph (which carries no mutation counter) —
+        the version field is only compared when both sides have one."""
+        from repro.graph.csr import get_csr
+
+        sampler = FrontierSampler(6, backend="csr")
+        session = sampler.start(graph, rng=1)
+        session.advance(10)
+        path = tmp_path / "ckpt.pkl"
+        session.save(path)
+        resumed = load_session(path, get_csr(graph))
+        resumed.advance(10)
+        assert resumed.steps_taken == 20
+        # ...and the continuation matches staying on the Graph form.
+        twin = load_session(path, graph)
+        twin.advance(10)
+        assert trace_key(twin.trace()) == trace_key(resumed.trace())
+
+    def test_pre_version_checkpoints_stay_loadable(self, graph, tmp_path):
+        """Checkpoints written before the signature carried the graph
+        version stored a (|V|, |E|) 2-tuple; they must still attach
+        (compared on the common prefix), not be rejected as mutated."""
+        session = FrontierSampler(6).start(graph, rng=1)
+        session.advance(10)
+        path = tmp_path / "ckpt.pkl"
+        session.save(path)
+        with open(path, "rb") as handle:
+            detached = pickle.load(handle)
+        detached.__dict__["_graph_signature"] = (
+            graph.num_vertices,
+            graph.num_edges,
+        )
+        detached.attach(graph)
+        assert detached.graph is graph
+        with open(path, "rb") as handle:
+            stale = pickle.load(handle)
+        stale.__dict__["_graph_signature"] = (graph.num_vertices, 1)
+        with pytest.raises(ValueError, match="mutated"):
+            stale.attach(graph)
 
     def test_load_session_rejects_non_session(self, graph, tmp_path):
         path = tmp_path / "junk.pkl"
@@ -220,6 +324,18 @@ class TestResumeDeterminism:
         state = session.state
         assert state["_graph"] is None
         assert pickle.loads(pickle.dumps(state))  # round-trips
+
+    def test_snapshot_is_independent_of_the_live_session(self, graph):
+        """`.state` is a view; `.snapshot()` must be a deep copy."""
+        session = FrontierSampler(6).start(graph, rng=3)
+        session.advance(10)
+        view = session.state
+        snapshot = session.snapshot()
+        frontier_then = list(snapshot["frontier"])
+        session.advance(40)
+        # The cheap view aliases live members; the snapshot does not.
+        assert view["frontier"] == session.frontier
+        assert snapshot["frontier"] == frontier_then
 
 
 class TestChunkingInvariance:

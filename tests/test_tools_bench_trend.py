@@ -1,0 +1,72 @@
+"""The benchmark-trend gate must fail readably, never with a traceback."""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+TOOL = REPO_ROOT / "tools" / "check_bench_trend.py"
+
+
+def run_tool(*args):
+    return subprocess.run(
+        [sys.executable, str(TOOL), *args],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+    )
+
+
+def report(path: Path, fs_list: float, fs_csr: float) -> Path:
+    payload = {
+        "benchmarks": [
+            {"name": "test_fs_list_backend", "stats": {"min": fs_list}},
+            {"name": "test_fs_csr_backend", "stats": {"min": fs_csr}},
+        ]
+    }
+    path.write_text(json.dumps(payload), encoding="utf-8")
+    return path
+
+
+class TestMissingReport:
+    def test_missing_current_report_is_a_readable_error(self, tmp_path):
+        """Satellite: no BENCH_ci.json -> clear message, exit 1."""
+        result = run_tool("--current", str(tmp_path / "BENCH_ci.json"))
+        assert result.returncode == 1
+        assert "not found" in result.stderr
+        assert "pytest benchmarks" in result.stderr  # tells you the fix
+        assert "Traceback" not in result.stderr
+        assert "Traceback" not in result.stdout
+
+    def test_corrupt_report_is_a_readable_error(self, tmp_path):
+        bad = tmp_path / "BENCH_ci.json"
+        bad.write_text("{not json", encoding="utf-8")
+        result = run_tool("--current", str(bad))
+        assert result.returncode == 1
+        assert "unreadable" in result.stderr
+        assert "Traceback" not in result.stderr
+
+
+class TestTrendGate:
+    def test_update_then_pass_then_regress(self, tmp_path):
+        current = report(tmp_path / "current.json", 1.0, 0.1)
+        baseline = tmp_path / "baseline.json"
+        updated = run_tool(
+            "--current", str(current), "--baseline", str(baseline), "--update"
+        )
+        assert updated.returncode == 0
+        assert baseline.exists()
+
+        ok = run_tool("--current", str(current), "--baseline", str(baseline))
+        assert ok.returncode == 0, ok.stderr
+        assert "OK" in ok.stdout
+
+        regressed = report(tmp_path / "slow.json", 1.0, 0.2)  # 2x slower
+        failed = run_tool(
+            "--current", str(regressed), "--baseline", str(baseline)
+        )
+        assert failed.returncode == 1
+        assert "REGRESSED" in failed.stdout

@@ -112,7 +112,24 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
-    timings = extract_timings(args.current, args.pattern)
+    if not args.current.exists():
+        print(
+            f"benchmark report {args.current} not found; generate it"
+            " first with: python -m pytest benchmarks -q"
+            f" --benchmark-json={args.current}",
+            file=sys.stderr,
+        )
+        return 1
+    try:
+        timings = extract_timings(args.current, args.pattern)
+    except (json.JSONDecodeError, KeyError, TypeError, ValueError) as error:
+        print(
+            f"benchmark report {args.current} is unreadable"
+            f" ({error}); regenerate it with: python -m pytest"
+            f" benchmarks -q --benchmark-json={args.current}",
+            file=sys.stderr,
+        )
+        return 1
     if not timings:
         print(
             f"no benchmarks matching {args.pattern!r} in {args.current};"
