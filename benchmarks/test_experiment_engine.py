@@ -1,0 +1,191 @@
+"""Experiment-engine gates: single-walk sweeps and replicate fan-out.
+
+Two acceptance gates for the session-native replication engine, both
+on the paper's wide-frontier FS regime over a ~100k-node
+Barabasi-Albert graph.  Like ``test_sharded_speed.py`` this file pins
+its scale — the gates are defined on these workloads, so
+``REPRO_BENCH_SCALE`` does not shrink them:
+
+- ``test_fs_engine_budget_sweep`` — a fig4-style 8-point budget sweep
+  through :func:`degree_error_budget_sweep` (one resumed session per
+  replicate) must beat the pre-engine path (re-sampling the full
+  budget at every point through ``degree_error_experiment``) by >= 2x.
+  This is algorithmic — a k-point linear schedule costs ~(k+1)/2 more
+  walking when re-sampled — so it is asserted whenever the native
+  kernels are available.  The engine timing is also recorded by
+  pytest-benchmark, which puts it under the CI trend gate
+  (``tools/check_bench_trend.py``, pattern ``test_fs_``).
+- ``test_fs_engine_procs_scaling`` — the same sweep shape with a
+  heavier per-replicate walk, fanned with ``procs=4``, must run
+  >= 1.5x faster than the engine at ``procs=1`` (inline pooled path,
+  identical streams).  Asserted only with >= 4 CPU cores and native
+  kernels; measured and recorded regardless.
+
+Results land in ``results/engine_speed.txt``; bit-equality of the
+pooled and inline sweeps is asserted unconditionally.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.experiments.degree_errors import (
+    degree_error_budget_sweep,
+    degree_error_experiment,
+)
+from repro.experiments.engine import default_budget_schedule
+from repro.generators.ba import barabasi_albert
+from repro.graph.csr import get_csr
+from repro.sampling import _native
+from repro.sampling.frontier import FrontierSampler
+
+from conftest import run_once
+
+NUM_VERTICES = 100_000
+SWEEP_DIMENSION = 1_000
+SWEEP_BUDGET = 40_000.0
+SWEEP_POINTS = 8
+SWEEP_REPLICATES = 8
+SWEEP_FLOOR = 2.0
+
+PROCS = 4
+PROCS_DIMENSION = 3_000
+PROCS_BUDGET = 400_000.0
+PROCS_REPLICATES = 8
+PROCS_FLOOR = 1.5
+
+
+@pytest.fixture(scope="module")
+def ba_graph():
+    return get_csr(barabasi_albert(NUM_VERTICES, 3, rng=1))
+
+
+def test_fs_engine_budget_sweep(benchmark, ba_graph, save_result):
+    """Engine sweep (one walk per replicate) vs per-point re-sampling."""
+    budgets = default_budget_schedule(SWEEP_BUDGET, SWEEP_POINTS)
+    samplers = {"FS": FrontierSampler(SWEEP_DIMENSION)}
+
+    def engine_sweep():
+        return degree_error_budget_sweep(
+            ba_graph,
+            samplers,
+            budgets,
+            runs=SWEEP_REPLICATES,
+            root_seed=7,
+            backend="csr",
+        )
+
+    started = time.perf_counter()
+    sweep = run_once(benchmark, engine_sweep)
+    engine_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    per_point = {
+        budget: degree_error_experiment(
+            ba_graph,
+            samplers,
+            budget,
+            runs=SWEEP_REPLICATES,
+            root_seed=7,
+            backend="csr",
+        )
+        for budget in budgets
+    }
+    resample_seconds = time.perf_counter() - started
+    ratio = resample_seconds / engine_seconds
+
+    # Same statistics at the final budget (FS sessions are
+    # chunk-invisible, so the sweep's last point IS the one-shot run).
+    final = budgets[-1]
+    for degree, value in per_point[final].curves["FS"].items():
+        assert abs(value - sweep.at(final).curves["FS"][degree]) <= 1e-9
+
+    save_result(
+        "engine_speed",
+        "\n".join(
+            [
+                f"Experiment engine, fig4-style sweep ({SWEEP_POINTS}"
+                f" budget points to B={SWEEP_BUDGET:.0f},"
+                f" m={SWEEP_DIMENSION}, {SWEEP_REPLICATES} replicates,"
+                f" BA n={NUM_VERTICES},"
+                f" native kernels: {_native.available()})",
+                f"  per-point re-sampling:   {resample_seconds * 1e3:8.1f} ms",
+                f"  engine single-walk:      {engine_seconds * 1e3:8.1f} ms"
+                f" ({ratio:.2f}x, floor {SWEEP_FLOOR}x)",
+                f"  steps walked (engine):   {sweep.steps_walked['FS']:,}",
+            ]
+        ),
+    )
+    if not _native.available():
+        pytest.skip(
+            "no native kernels: the interpreted fallback's constant"
+            f" factors dominate; measured {ratio:.2f}x (not gated)"
+        )
+    assert ratio >= SWEEP_FLOOR, (
+        f"engine sweep is only {ratio:.2f}x the per-point re-sampling"
+        f" path (floor {SWEEP_FLOOR}x)"
+    )
+
+
+def test_fs_engine_procs_scaling(ba_graph, results_dir):
+    """Engine at 4 worker processes vs the inline procs=1 path."""
+    budgets = [PROCS_BUDGET / 2, PROCS_BUDGET]
+    samplers = {"FS": FrontierSampler(PROCS_DIMENSION)}
+
+    def sweep(procs):
+        return degree_error_budget_sweep(
+            ba_graph,
+            samplers,
+            budgets,
+            runs=PROCS_REPLICATES,
+            root_seed=7,
+            procs=procs,
+        )
+
+    started = time.perf_counter()
+    inline = sweep(1)
+    inline_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    pooled = sweep(PROCS)
+    pooled_seconds = time.perf_counter() - started
+    ratio = inline_seconds / pooled_seconds
+
+    # procs is a deployment knob: identical error curves, bit for bit.
+    for budget in budgets:
+        assert inline.at(budget).curves == pooled.at(budget).curves
+    assert inline.steps_walked == pooled.steps_walked
+
+    cores = os.cpu_count() or 1
+    report = "\n".join(
+        [
+            "",
+            f"Engine replicate fan-out (B={PROCS_BUDGET:.0f},"
+            f" m={PROCS_DIMENSION}, {PROCS_REPLICATES} replicates,"
+            f" {cores} cores)",
+            f"  engine, procs=1 inline:  {inline_seconds * 1e3:8.1f} ms",
+            f"  engine, procs={PROCS} spawn:   {pooled_seconds * 1e3:8.1f} ms"
+            f" ({ratio:.2f}x, floor {PROCS_FLOOR}x)",
+        ]
+    )
+    path = results_dir / "engine_speed.txt"
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(report + "\n")
+
+    if not _native.available():
+        pytest.skip(
+            "no native kernels: worker processes run the pure-Python"
+            f" fallback; measured {ratio:.2f}x (not comparable)"
+        )
+    if cores < PROCS:
+        pytest.skip(
+            f"only {cores} CPU core(s): the {PROCS}-process gate needs"
+            f" {PROCS}; measured {ratio:.2f}x"
+        )
+    assert ratio >= PROCS_FLOOR, (
+        f"engine at {PROCS} procs is only {ratio:.2f}x the inline"
+        f" procs=1 sweep (floor {PROCS_FLOOR}x)"
+    )

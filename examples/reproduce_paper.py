@@ -5,7 +5,12 @@ Equivalent to `repro-experiments all`, with a size/runs preset chosen
 to finish in a few minutes.  Output is the same rows/series the paper
 reports, one block per artifact.
 
-Run:  python examples/reproduce_paper.py [--scale 0.25] [--runs 40]
+Run:  python examples/reproduce_paper.py [--scale 0.25] [--runs 40] \\
+          [--procs N]
+
+``--procs N`` fans every experiment's replicates across N worker
+processes (results are bit-identical for any N at a fixed seed; the
+pooled sessions use the csr draw protocol).
 """
 
 import argparse
@@ -18,10 +23,17 @@ def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--scale", type=float, default=0.25)
     parser.add_argument("--runs", type=int, default=40)
-    args = parser.parse_args()
-    return cli_main(
-        ["all", "--scale", str(args.scale), "--runs", str(args.runs)]
+    parser.add_argument(
+        "--procs",
+        type=int,
+        default=None,
+        help="worker processes for replicate fan-out (default: in-process)",
     )
+    args = parser.parse_args()
+    argv = ["all", "--scale", str(args.scale), "--runs", str(args.runs)]
+    if args.procs is not None:
+        argv += ["--procs", str(args.procs)]
+    return cli_main(argv)
 
 
 if __name__ == "__main__":

@@ -8,23 +8,50 @@ Every evaluation artifact of the paper has a driver here:
   method producing the same rows/series the paper prints, so the
   benchmark harness and the CLI share one code path.
 
+All drivers execute through the replication engine
+(:mod:`repro.experiments.engine`): one resumable session per
+replicate, streaming accumulation at every budget checkpoint, and
+optional multi-process fan-out via each driver's ``procs`` parameter
+(bit-identical results for every ``procs`` value at a fixed seed).
+
 The drivers accept ``scale`` (dataset size multiplier) and ``runs``
 (replications) so the full evaluation stays laptop-sized; EXPERIMENTS.md
 records the paper-vs-measured comparison produced at the default scale.
 """
 
 from repro.experiments.degree_errors import (
+    BudgetSweepResult,
     DegreeErrorResult,
+    degree_error_budget_sweep,
     degree_error_experiment,
 )
-from repro.experiments.runner import replicate, replicate_traces
+from repro.experiments.engine import (
+    ExperimentPlan,
+    PlanResult,
+    TraceCollector,
+    default_budget_schedule,
+    run_plan,
+)
+from repro.experiments.runner import (
+    replicate,
+    replicate_incremental,
+    replicate_traces,
+)
 from repro.experiments.samplepaths import SamplePathResult, sample_paths
 
 __all__ = [
+    "BudgetSweepResult",
     "DegreeErrorResult",
+    "ExperimentPlan",
+    "PlanResult",
     "SamplePathResult",
+    "TraceCollector",
+    "default_budget_schedule",
+    "degree_error_budget_sweep",
     "degree_error_experiment",
     "replicate",
+    "replicate_incremental",
     "replicate_traces",
+    "run_plan",
     "sample_paths",
 ]

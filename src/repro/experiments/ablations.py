@@ -13,15 +13,23 @@ These probe the design choices DESIGN.md calls out:
   distributions.
 - ``fs_vs_distributed`` — FS and its exponential-clock realization
   (Theorem 5.5) produce statistically indistinguishable estimates.
+
+Every sweep replicates through the experiment engine
+(:func:`~repro.experiments.engine.run_plan`): ``procs`` fans the
+replicates of pool-capable samplers across worker processes, and the
+burn-in ablation now walks each SingleRW replicate ONCE, scoring all
+burn-in levels against the same trace (the levels previously re-walked
+identical traces per level).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.datasets.registry import flickr_like, gab
 from repro.experiments.degree_errors import degree_error_experiment
+from repro.experiments.engine import ExperimentPlan, run_plan
 from repro.experiments.render import format_float, render_table
 from repro.estimators.degree import (
     degree_pmf_from_trace,
@@ -29,11 +37,11 @@ from repro.estimators.degree import (
 )
 from repro.metrics.errors import nmse
 from repro.metrics.exact import true_degree_pmf
+from repro.sampling.base import Backend
 from repro.sampling.distributed import DistributedFrontierSampler
 from repro.sampling.frontier import FrontierSampler
 from repro.sampling.metropolis import MetropolisHastingsWalk
 from repro.sampling.single import SingleRandomWalk
-from repro.util.rng import child_rng
 
 
 @dataclass
@@ -56,6 +64,8 @@ def dimension_sweep(
     runs: int = 40,
     dimensions: Sequence[int] = (1, 4, 16, 64, 256),
     root_seed: int = 901,
+    backend: Optional[Backend] = None,
+    procs: Optional[int] = None,
 ) -> SweepResult:
     """FS error on GAB as the frontier dimension grows.
 
@@ -77,6 +87,8 @@ def dimension_sweep(
         root_seed=root_seed,
         metric="ccdf",
         title="dimension sweep",
+        backend=backend,
+        procs=procs,
     )
     sweep = SweepResult(
         title=f"FS dimension sweep on GAB (B={budget:.0f}, {runs} runs)"
@@ -91,6 +103,8 @@ def walker_selection_ablation(
     runs: int = 40,
     dimension: int = 64,
     root_seed: int = 902,
+    backend: Optional[Backend] = None,
+    procs: Optional[int] = None,
 ) -> SweepResult:
     """Degree-proportional vs uniform walker selection in FS.
 
@@ -115,6 +129,8 @@ def walker_selection_ablation(
         root_seed=root_seed,
         metric="ccdf",
         title="walker selection",
+        backend=backend,
+        procs=procs,
     )
     sweep = SweepResult(
         title=f"Algorithm 1 line 4 ablation on GAB (m={dimension})"
@@ -128,6 +144,8 @@ def metropolis_vs_rw(
     scale: float = 0.3,
     runs: int = 40,
     root_seed: int = 903,
+    backend: Optional[Backend] = None,
+    procs: Optional[int] = None,
 ) -> SweepResult:
     """Degree-pmf NMSE: reweighted RW estimator vs Metropolis walk.
 
@@ -146,28 +164,39 @@ def metropolis_vs_rw(
     probe = [
         k for k, v in sorted(truth.items(), key=lambda kv: -kv[1])[:8] if v > 0
     ]
-    rw_estimates: Dict[int, List[float]] = {k: [] for k in probe}
-    mh_estimates: Dict[int, List[float]] = {k: [] for k in probe}
-    rw = SingleRandomWalk()
-    mh = MetropolisHastingsWalk()
-    for run in range(runs):
-        rw_trace = rw.sample(lcc, budget, child_rng(root_seed, run))
-        rw_pmf = degree_pmf_from_trace(lcc, rw_trace)
-        mh_trace = mh.sample(lcc, budget, child_rng(root_seed + 1, run))
-        mh_pmf = degree_pmf_from_vertices(mh_trace.visited, lcc.degree)
-        for k in probe:
-            rw_estimates[k].append(rw_pmf.get(k, 0.0))
-            mh_estimates[k].append(mh_pmf.get(k, 0.0))
+    rw_name, mh_name = "RW + eq.(7)", "Metropolis-Hastings"
+
+    def snapshot(method: str, collector, checkpoint: float) -> List[float]:
+        trace = collector.trace()
+        if method == mh_name:
+            pmf = degree_pmf_from_vertices(trace.visited, lcc.degree)
+        else:
+            pmf = degree_pmf_from_trace(lcc, trace)
+        return [pmf.get(k, 0.0) for k in probe]
+
+    plan = ExperimentPlan(
+        title="RW vs Metropolis-Hastings",
+        graph=lcc,
+        samplers={
+            rw_name: SingleRandomWalk(),
+            mh_name: MetropolisHastingsWalk(),
+        },
+        budgets=[budget],
+        snapshot=snapshot,
+        method_seed={rw_name: root_seed, mh_name: root_seed + 1},
+        backend=backend,
+    )
+    outcome = run_plan(plan, runs, procs=procs)
     sweep = SweepResult(
         title="RW (eq. 7) vs Metropolis-Hastings walk"
         f" (flickr-like LCC, B={budget:.0f})"
     )
-    sweep.errors["RW + eq.(7)"] = sum(
-        nmse(rw_estimates[k], truth[k]) for k in probe
-    ) / len(probe)
-    sweep.errors["Metropolis-Hastings"] = sum(
-        nmse(mh_estimates[k], truth[k]) for k in probe
-    ) / len(probe)
+    for method in (rw_name, mh_name):
+        rows = outcome.measurements(method)
+        sweep.errors[method] = sum(
+            nmse([row[j] for row in rows], truth[k])
+            for j, k in enumerate(probe)
+        ) / len(probe)
     return sweep
 
 
@@ -176,6 +205,8 @@ def burn_in_ablation(
     runs: int = 40,
     burn_ins: Sequence[int] = (0, 50, 200),
     root_seed: int = 905,
+    backend: Optional[Backend] = None,
+    procs: Optional[int] = None,
 ) -> SweepResult:
     """Does discarding a burn-in rescue SingleRW on a trappable graph?
 
@@ -184,7 +215,13 @@ def burn_in_ablation(
     how many initial samples are discarded, and the discarded samples
     are paid for.  FS without any burn-in should beat SingleRW at every
     burn-in level.
+
+    Each SingleRW replicate walks once; every burn-in level is scored
+    against that one trace (the pre-engine driver re-walked an
+    identical trace per level — same numbers, len(burn_ins)x the
+    walking).
     """
+    from repro.sampling.base import WalkTrace
     from repro.sampling.burnin import discard_burn_in
     from repro.estimators.degree import degree_ccdf_from_trace
     from repro.metrics.errors import nmse_curve
@@ -197,29 +234,56 @@ def burn_in_ablation(
     sweep = SweepResult(
         title=f"Burn-in ablation on GAB (B={budget:.0f}, {runs} runs)"
     )
+    levels = list(burn_ins)
+    single_name, fs_name = "SingleRW", "FS(m=64, no burn-in)"
+
+    def snapshot(method: str, collector, checkpoint: float):
+        trace = collector.trace()
+        if method == fs_name:
+            return degree_ccdf_from_trace(graph, trace)
+        if type(trace) is not WalkTrace:
+            # Array-backed traces are not plain dataclasses, which
+            # dataclasses.replace (inside discard_burn_in) requires.
+            trace = WalkTrace(
+                method=trace.method,
+                edges=list(trace.edges),
+                initial_vertices=list(trace.initial_vertices),
+                budget=trace.budget,
+                seed_cost=trace.seed_cost,
+            )
+        by_level = {}
+        for burn in levels:
+            burned = discard_burn_in(trace, burn)
+            try:
+                by_level[burn] = degree_ccdf_from_trace(graph, burned)
+            except ValueError:
+                by_level[burn] = {}
+        return by_level
+
+    plan = ExperimentPlan(
+        title="burn-in ablation",
+        graph=graph,
+        samplers={
+            single_name: SingleRandomWalk(),
+            fs_name: FrontierSampler(64),
+        },
+        budgets=[budget],
+        snapshot=snapshot,
+        method_seed={single_name: root_seed, fs_name: root_seed + 1},
+        backend=backend,
+    )
+    outcome = run_plan(plan, runs, procs=procs)
 
     def mean_cnmse(estimates):
         curve = nmse_curve(estimates, truth)
         return sum(curve.values()) / len(curve)
 
-    single = SingleRandomWalk()
-    for burn in burn_ins:
-        estimates = []
-        for run in range(runs):
-            trace = single.sample(graph, budget, child_rng(root_seed, run))
-            burned = discard_burn_in(trace, burn)
-            try:
-                estimates.append(degree_ccdf_from_trace(graph, burned))
-            except ValueError:
-                estimates.append({})
-        sweep.errors[f"SingleRW(burn-in={burn})"] = mean_cnmse(estimates)
-
-    fs = FrontierSampler(64)
-    estimates = []
-    for run in range(runs):
-        trace = fs.sample(graph, budget, child_rng(root_seed + 1, run))
-        estimates.append(degree_ccdf_from_trace(graph, trace))
-    sweep.errors["FS(m=64, no burn-in)"] = mean_cnmse(estimates)
+    single_rows = outcome.measurements(single_name)
+    for burn in levels:
+        sweep.errors[f"SingleRW(burn-in={burn})"] = mean_cnmse(
+            [row[burn] for row in single_rows]
+        )
+    sweep.errors[fs_name] = mean_cnmse(outcome.measurements(fs_name))
     return sweep
 
 
@@ -228,8 +292,15 @@ def fs_vs_distributed(
     runs: int = 40,
     dimension: int = 64,
     root_seed: int = 904,
+    backend: Optional[Backend] = None,
+    procs: Optional[int] = None,
 ) -> SweepResult:
-    """FS vs its exponential-clock realization (Theorem 5.5)."""
+    """FS vs its exponential-clock realization (Theorem 5.5).
+
+    :class:`DistributedFrontierSampler` is list-backend-only, so under
+    ``procs`` it replicates in-process (with procs-invariant streams)
+    while FS fans out — the engine routes each method appropriately.
+    """
     dataset = flickr_like(scale)
     graph = dataset.graph
     budget = graph.num_vertices / 2.5
@@ -246,6 +317,8 @@ def fs_vs_distributed(
         degree_of=dataset.in_degree_of,
         metric="ccdf",
         title="fs vs dfs",
+        backend=backend,
+        procs=procs,
     )
     sweep = SweepResult(
         title=f"Theorem 5.5: centralized vs distributed FS (m={dimension})"

@@ -58,9 +58,13 @@ _EXPERIMENTS: Dict[str, Callable] = {
 _NO_RUNS = {"table1", "fig3", "fig6", "fig7", "fig9"}
 #: drivers that do not take a ``scale`` argument
 _NO_SCALE = {"table4"}  # table4 sizes its own miniature graphs
+#: descriptive drivers with nothing to replicate, hence no ``--procs``
+_NO_PROCS = {"table1", "fig3", "fig7"}
 
 
-def _run_one(name: str, scale: float, runs: int) -> str:
+def _run_one(
+    name: str, scale: float, runs: int, procs=None
+) -> str:
     driver = _EXPERIMENTS[name]
     kwargs = {}
     if name not in _NO_SCALE:
@@ -70,6 +74,8 @@ def _run_one(name: str, scale: float, runs: int) -> str:
             kwargs["mc_runs"] = max(1000, runs * 100)
         else:
             kwargs["runs"] = runs
+    if procs is not None and name not in _NO_PROCS:
+        kwargs["procs"] = procs
     result = driver(**kwargs)
     return result.render()
 
@@ -341,7 +347,19 @@ def main(argv=None) -> int:
         help="sampling backend: 'list' (interpreted, paper-literal"
         " draw protocol) or 'csr' (vectorized fast path; default list)",
     )
+    parser.add_argument(
+        "--procs",
+        type=int,
+        default=None,
+        help="fan each experiment's replicates across this many worker"
+        " processes (spawn; graph shared via mmap'd CSR buffers)."
+        " Results are bit-identical for every --procs value at a fixed"
+        " seed; pooled sessions run on the csr draw protocol, so"
+        " compare against --backend csr runs, not list-backend runs",
+    )
     args = parser.parse_args(argv)
+    if args.procs is not None and args.procs < 1:
+        parser.error("--procs must be >= 1")
 
     if args.list:
         for name in _EXPERIMENTS:
@@ -365,7 +383,7 @@ def main(argv=None) -> int:
                 )
                 return 2
             started = time.time()
-            print(_run_one(name, args.scale, args.runs))
+            print(_run_one(name, args.scale, args.runs, args.procs))
             print(f"  [{name} finished in {time.time() - started:.1f}s]\n")
     return 0
 

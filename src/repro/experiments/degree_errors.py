@@ -8,7 +8,6 @@ aggregates per-degree errors against the exact distribution.
 
 from __future__ import annotations
 
-from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional, Sequence
 
@@ -19,12 +18,11 @@ from repro.estimators.degree import (
     degree_pmf_from_vertices,
 )
 from repro.estimators.streaming import StreamingDegreePMF
-from repro.experiments.runner import replicate_incremental
+from repro.experiments.engine import ExperimentPlan, run_plan
 from repro.graph.graph import Graph
 from repro.metrics.errors import nmse_curve
 from repro.metrics.exact import true_degree_ccdf, true_degree_pmf
-from repro.sampling.base import Backend, Sampler, VertexTrace, use_backend
-from repro.util.rng import child_rng
+from repro.sampling.base import Backend, Sampler, VertexTrace
 
 DegreeOf = Callable[[int], int]
 
@@ -100,7 +98,12 @@ def _estimate(
     metric: str,
     degree_of: Optional[DegreeOf],
 ) -> Mapping[int, float]:
-    """Dispatch on trace type and metric to the right estimator."""
+    """Dispatch on trace type and metric to the right batch estimator.
+
+    The engine path below streams increments into
+    :class:`StreamingDegreePMF` instead; this batch dispatch is kept
+    as the reference implementation the parity tests check against.
+    """
     if isinstance(trace, VertexTrace):
         label = degree_of if degree_of is not None else graph.degree
         if metric == "ccdf":
@@ -109,6 +112,48 @@ def _estimate(
     if metric == "ccdf":
         return degree_ccdf_from_trace(graph, trace, degree_of)
     return degree_pmf_from_trace(graph, trace, degree_of)
+
+
+def degree_error_plan(
+    graph: Graph,
+    samplers: Mapping[str, Sampler],
+    budgets: Sequence[float],
+    root_seed: int = 0,
+    degree_of: Optional[DegreeOf] = None,
+    metric: str = "ccdf",
+    title: str = "degree error plan",
+    backend: Optional[Backend] = None,
+) -> ExperimentPlan:
+    """The degree-error computation as an :class:`ExperimentPlan`.
+
+    One :class:`StreamingDegreePMF` accumulator per replicate, drained
+    at every budget checkpoint; the snapshot is the CCDF (CNMSE
+    figures) or PMF (NMSE figures) estimate, with an empty/degenerate
+    trace estimating zero mass everywhere — the estimator had its
+    chance and produced nothing, which is an error, not a skip.
+    """
+    if metric not in ("ccdf", "pmf"):
+        raise ValueError(f"metric must be 'ccdf' or 'pmf', got {metric!r}")
+
+    def accumulator(method: str) -> StreamingDegreePMF:
+        return StreamingDegreePMF(graph, degree_of)
+
+    def snapshot(method: str, acc: StreamingDegreePMF, budget: float):
+        try:
+            return acc.ccdf() if metric == "ccdf" else acc.estimate()
+        except ValueError:
+            return {}  # empty trace estimates zero mass
+
+    return ExperimentPlan(
+        title=title,
+        graph=graph,
+        samplers=samplers,
+        budgets=list(budgets),
+        accumulator=accumulator,
+        snapshot=snapshot,
+        root_seed=root_seed,
+        backend=backend,
+    )
 
 
 def degree_error_experiment(
@@ -121,6 +166,7 @@ def degree_error_experiment(
     metric: str = "ccdf",
     title: str = "degree error experiment",
     backend: Optional[Backend] = None,
+    procs: Optional[int] = None,
 ) -> DegreeErrorResult:
     """Run all samplers and aggregate per-degree error curves.
 
@@ -136,9 +182,12 @@ def degree_error_experiment(
     and the degree estimators reweight over its arrays without ever
     materializing Python tuples.  ``None`` keeps the process default
     (which the CLI's ``--backend`` flag already controls).
+
+    ``procs`` fans the replicates of each pool-capable sampler across
+    that many worker processes over shared CSR buffers (see
+    :func:`~repro.experiments.engine.run_plan`); results are
+    bit-identical for every ``procs`` value at a fixed seed.
     """
-    if metric not in ("ccdf", "pmf"):
-        raise ValueError(f"metric must be 'ccdf' or 'pmf', got {metric!r}")
     truth = (
         true_degree_ccdf(graph, degree_of)
         if metric == "ccdf"
@@ -152,45 +201,27 @@ def degree_error_experiment(
         truth=dict(truth),
         average_degree=graph.average_degree(),
     )
-    context = use_backend(backend) if backend is not None else nullcontext()
-    with context:
-        for method_index, (method, sampler) in enumerate(
-            sorted(samplers.items())
-        ):
-            estimates: List[Mapping[int, float]] = []
-            for run_index in range(runs):
-                rng = child_rng(root_seed + 7919 * method_index, run_index)
-                trace = sampler.sample(graph, budget, rng)
-                try:
-                    estimates.append(
-                        _estimate(graph, trace, metric, degree_of)
-                    )
-                except ValueError:
-                    estimates.append({})  # empty trace estimates zero mass
-            result.curves[method] = nmse_curve(estimates, truth)
+    plan = degree_error_plan(
+        graph,
+        samplers,
+        [float(budget)],
+        root_seed=root_seed,
+        degree_of=degree_of,
+        metric=metric,
+        title=title,
+        backend=backend,
+    )
+    outcome = run_plan(plan, runs, procs=procs)
+    for method in outcome.methods:
+        result.curves[method] = nmse_curve(
+            outcome.measurements(method), truth
+        )
     return result
 
 
 # ----------------------------------------------------------------------
 # MSE-versus-budget curves from resumed sessions (Section 4.4)
 # ----------------------------------------------------------------------
-class _AnytimeRun:
-    """One replicate: a sampler session feeding a streaming estimator.
-
-    ``advance_budget`` extends the *same* walk and drains the new steps
-    into the accumulator, so each budget checkpoint costs only the
-    incremental steps — never a fresh walk.
-    """
-
-    def __init__(self, session, accumulator: StreamingDegreePMF):
-        self.session = session
-        self.accumulator = accumulator
-
-    def advance_budget(self, budget: float) -> None:
-        self.session.advance_budget(budget)
-        self.accumulator.update(self.session.take_trace())
-
-
 @dataclass
 class BudgetSweepResult:
     """Per-budget error results plus the error-versus-budget summary."""
@@ -200,6 +231,10 @@ class BudgetSweepResult:
     budgets: List[float]
     runs: int
     results: Dict[float, DegreeErrorResult] = field(default_factory=dict)
+    #: Total walk steps each method's sessions took across all
+    #: replicates — the single-walk receipt: under the engine this is
+    #: ``runs * steps(budgets[-1])``, not ``runs * sum_i steps(b_i)``.
+    steps_walked: Dict[str, int] = field(default_factory=dict)
 
     def at(self, budget: float) -> DegreeErrorResult:
         """The full per-degree error result at one budget checkpoint."""
@@ -241,6 +276,7 @@ def degree_error_budget_sweep(
     metric: str = "ccdf",
     title: str = "degree error budget sweep",
     backend: Optional[Backend] = None,
+    procs: Optional[int] = None,
 ) -> BudgetSweepResult:
     """Error curves at every budget in one anytime pass per replicate.
 
@@ -250,10 +286,11 @@ def degree_error_budget_sweep(
     each ascending budget checkpoint, and snapshots the estimate from a
     :class:`~repro.estimators.streaming.StreamingDegreePMF` accumulator
     fed the trace increments — identical statistics at the largest
-    budget for a fraction of the walking.
+    budget for a fraction of the walking.  ``procs`` fans the
+    replicates across worker processes (procs-invariant results; see
+    :func:`~repro.experiments.engine.run_plan`);
+    ``result.steps_walked`` records the single-walk receipt.
     """
-    if metric not in ("ccdf", "pmf"):
-        raise ValueError(f"metric must be 'ccdf' or 'pmf', got {metric!r}")
     checkpoints = [float(b) for b in budgets]
     if not checkpoints or any(
         b > a for b, a in zip(checkpoints, checkpoints[1:])
@@ -278,34 +315,21 @@ def degree_error_budget_sweep(
             truth=dict(truth),
             average_degree=graph.average_degree(),
         )
-    for method_index, (method, sampler) in enumerate(
-        sorted(samplers.items())
-    ):
-        def start(rng, sampler=sampler):
-            return _AnytimeRun(
-                sampler.start(graph, rng),
-                StreamingDegreePMF(graph, degree_of),
-            )
-
-        def measure(run, budget):
-            try:
-                if metric == "ccdf":
-                    return run.accumulator.ccdf()
-                return run.accumulator.estimate()
-            except ValueError:
-                return {}  # empty trace estimates zero mass
-
-        rows = replicate_incremental(
-            start,
-            measure,
-            checkpoints,
-            runs,
-            root_seed=root_seed + 7919 * method_index,
-            backend=backend,
-        )
-        for budget_index, budget in enumerate(checkpoints):
-            estimates = [row[budget_index] for row in rows]
+    plan = degree_error_plan(
+        graph,
+        samplers,
+        checkpoints,
+        root_seed=root_seed,
+        degree_of=degree_of,
+        metric=metric,
+        title=title,
+        backend=backend,
+    )
+    outcome = run_plan(plan, runs, procs=procs)
+    for method, run in outcome.methods.items():
+        for budget in checkpoints:
             sweep.results[budget].curves[method] = nmse_curve(
-                estimates, truth
+                run.measurements(budget), truth
             )
+        sweep.steps_walked[method] = run.total_steps()
     return sweep

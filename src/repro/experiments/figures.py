@@ -13,14 +13,21 @@ drivers at smaller scale.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List
+from typing import Callable, Dict, Optional, Sequence, Union
 
 from repro.analysis.vertex_vs_edge import analytic_nmse_curves
 from repro.datasets.registry import Dataset, flickr_like, gab, livejournal_like
-from repro.estimators.vertex_density import vertex_label_densities_from_trace
+from repro.estimators.streaming import StreamingVertexDensity
 from repro.experiments.degree_errors import (
+    BudgetSweepResult,
     DegreeErrorResult,
+    degree_error_budget_sweep,
     degree_error_experiment,
+)
+from repro.experiments.engine import (
+    ExperimentPlan,
+    default_budget_schedule,
+    run_plan,
 )
 from repro.experiments.render import format_float, render_table
 from repro.experiments.samplepaths import SamplePathResult, sample_paths
@@ -31,14 +38,28 @@ from repro.metrics.exact import (
     true_degree_pmf,
     true_group_densities,
 )
-from repro.sampling.base import Sampler
+from repro.sampling.base import Backend, Sampler
 from repro.sampling.frontier import FrontierSampler
 from repro.sampling.independent import RandomEdgeSampler, RandomVertexSampler
 from repro.sampling.multiple import MultipleRandomWalk
 from repro.sampling.single import SingleRandomWalk
-from repro.util.rng import child_rng
 
 DegreeOf = Callable[[int], int]
+
+#: ``budgets`` accepted by the budget-style figures (4, 8, 12):
+#: ``None`` reproduces the paper's single-budget error figure, an int
+#: asks for that many :func:`default_budget_schedule` checkpoints, a
+#: sequence pins the checkpoints explicitly.  Either sweep form walks
+#: each replicate ONCE (one resumed session to the final budget).
+BudgetsArg = Union[None, int, Sequence[float]]
+
+
+def _budget_schedule(budgets: BudgetsArg, final_budget: float):
+    if budgets is None:
+        return None
+    if isinstance(budgets, int):
+        return default_budget_schedule(final_budget, budgets)
+    return list(budgets)
 
 
 def _lcc_with_labels(
@@ -58,7 +79,11 @@ def _lcc_with_labels(
 # Figure 1 — SingleRW vs MultipleRW(10), in-degree CNMSE, B = |V|/10
 # ----------------------------------------------------------------------
 def fig1(
-    scale: float = 1.0, runs: int = 100, root_seed: int = 101
+    scale: float = 1.0,
+    runs: int = 100,
+    root_seed: int = 101,
+    backend: Optional[Backend] = None,
+    procs: Optional[int] = None,
 ) -> DegreeErrorResult:
     """SingleRW beats uniformly seeded MultipleRW — the motivating
     surprise of Section 4.4."""
@@ -80,6 +105,8 @@ def fig1(
         degree_of=dataset.in_degree_of,
         metric="ccdf",
         title="Figure 1 — in-degree CNMSE on flickr-like, B=|V|/2.5",
+        backend=backend,
+        procs=procs,
     )
 
 
@@ -105,21 +132,37 @@ class CcdfFigure:
         return render_table(self.title, ["degree", "CCDF"], rows)
 
 
+def _descriptive_dataset(title: str, dataset_factory):
+    """Resolve a descriptive figure's dataset through the engine.
+
+    Figures 3/7 (and Table 1) replicate nothing — their artifact is an
+    exact statistic — so their plan carries an empty sampler grid: the
+    engine invokes the dataset factory (the plan's graph slot holds
+    the whole :class:`~repro.datasets.registry.Dataset`, since the
+    exact statistic needs its degree labels too) and contributes the
+    uniform entry point, nothing more.
+    """
+    plan = ExperimentPlan(title=title, graph=dataset_factory, samplers={})
+    return run_plan(plan, replicates=0).graph
+
+
 def fig3(scale: float = 1.0) -> CcdfFigure:
     """Exact in-degree CCDF of the Flickr stand-in (log-log in the
     paper; here a degree/CCDF table over log-spaced support)."""
-    dataset = flickr_like(scale)
+    title = "Figure 3 — flickr-like in-degree CCDF"
+    dataset = _descriptive_dataset(title, lambda: flickr_like(scale))
     return CcdfFigure(
-        title="Figure 3 — flickr-like in-degree CCDF",
+        title=title,
         ccdf=true_degree_ccdf(dataset.graph, dataset.in_degree_of),
     )
 
 
 def fig7(scale: float = 1.0) -> CcdfFigure:
     """Exact out-degree CCDF of the LiveJournal stand-in."""
-    dataset = livejournal_like(scale)
+    title = "Figure 7 — livejournal-like out-degree CCDF"
+    dataset = _descriptive_dataset(title, lambda: livejournal_like(scale))
     return CcdfFigure(
-        title="Figure 7 — livejournal-like out-degree CCDF",
+        title=title,
         ccdf=true_degree_ccdf(dataset.graph, dataset.out_degree_of),
     )
 
@@ -140,11 +183,35 @@ def fig4(
     runs: int = 100,
     dimension: int = 100,
     root_seed: int = 104,
-) -> DegreeErrorResult:
-    """FS wins even with no disconnected components (Flickr LCC)."""
+    budgets: BudgetsArg = None,
+    backend: Optional[Backend] = None,
+    procs: Optional[int] = None,
+) -> Union[DegreeErrorResult, BudgetSweepResult]:
+    """FS wins even with no disconnected components (Flickr LCC).
+
+    ``budgets`` turns the figure into an error-versus-budget sweep
+    (Section 4.4 style) computed from ONE resumed session per
+    replicate — the engine walks each replicate to the final budget
+    once instead of re-sampling every budget point.
+    """
     dataset = flickr_like(scale)
     lcc, degree_of = _lcc_with_labels(dataset, dataset.in_degree_of)
     budget = lcc.num_vertices / 2.5
+    schedule = _budget_schedule(budgets, budget)
+    if schedule is not None:
+        return degree_error_budget_sweep(
+            lcc,
+            _fs_single_multiple(dimension),
+            schedule,
+            runs,
+            root_seed=root_seed,
+            degree_of=degree_of,
+            metric="ccdf",
+            title="Figure 4 — in-degree CNMSE on flickr-like LCC"
+            " (budget sweep)",
+            backend=backend,
+            procs=procs,
+        )
     return degree_error_experiment(
         lcc,
         _fs_single_multiple(dimension),
@@ -154,6 +221,8 @@ def fig4(
         degree_of=degree_of,
         metric="ccdf",
         title="Figure 4 — in-degree CNMSE on flickr-like LCC",
+        backend=backend,
+        procs=procs,
     )
 
 
@@ -162,6 +231,8 @@ def fig5(
     runs: int = 100,
     dimension: int = 100,
     root_seed: int = 105,
+    backend: Optional[Backend] = None,
+    procs: Optional[int] = None,
 ) -> DegreeErrorResult:
     """Full Flickr stand-in: the FS gap widens once disconnected
     components can trap SingleRW/MultipleRW walkers."""
@@ -176,6 +247,8 @@ def fig5(
         degree_of=dataset.in_degree_of,
         metric="ccdf",
         title="Figure 5 — in-degree CNMSE on full flickr-like",
+        backend=backend,
+        procs=procs,
     )
 
 
@@ -187,6 +260,8 @@ def fig6(
     dimension: int = 100,
     num_paths: int = 4,
     root_seed: int = 106,
+    backend: Optional[Backend] = None,
+    procs: Optional[int] = None,
 ) -> SamplePathResult:
     """Trajectories of theta_hat_1 (fraction of in-degree-1 vertices)
     on the full Flickr stand-in."""
@@ -204,6 +279,8 @@ def fig6(
         root_seed=root_seed,
         degree_of=dataset.in_degree_of,
         title="Figure 6 — sample paths of theta_hat_1 on flickr-like",
+        backend=backend,
+        procs=procs,
     )
 
 
@@ -212,6 +289,8 @@ def fig9(
     dimension: int = 100,
     num_paths: int = 4,
     root_seed: int = 109,
+    backend: Optional[Backend] = None,
+    procs: Optional[int] = None,
 ) -> SamplePathResult:
     """Trajectories of theta_hat_10 on the GAB bridge graph."""
     dataset = gab(scale)
@@ -227,6 +306,8 @@ def fig9(
         num_paths=num_paths,
         root_seed=root_seed,
         title="Figure 9 — sample paths of theta_hat_10 on GAB",
+        backend=backend,
+        procs=procs,
     )
 
 
@@ -238,10 +319,32 @@ def fig8(
     runs: int = 100,
     dimension: int = 100,
     root_seed: int = 108,
-) -> DegreeErrorResult:
-    """Out-degree CNMSE on the LiveJournal stand-in."""
+    budgets: BudgetsArg = None,
+    backend: Optional[Backend] = None,
+    procs: Optional[int] = None,
+) -> Union[DegreeErrorResult, BudgetSweepResult]:
+    """Out-degree CNMSE on the LiveJournal stand-in.
+
+    ``budgets`` turns the figure into a single-walk-per-replicate
+    error-versus-budget sweep (see :func:`fig4`).
+    """
     dataset = livejournal_like(scale)
     budget = dataset.graph.num_vertices / 10
+    schedule = _budget_schedule(budgets, budget)
+    if schedule is not None:
+        return degree_error_budget_sweep(
+            dataset.graph,
+            _fs_single_multiple(dimension),
+            schedule,
+            runs,
+            root_seed=root_seed,
+            degree_of=dataset.out_degree_of,
+            metric="ccdf",
+            title="Figure 8 — out-degree CNMSE on livejournal-like"
+            " (budget sweep)",
+            backend=backend,
+            procs=procs,
+        )
     return degree_error_experiment(
         dataset.graph,
         _fs_single_multiple(dimension),
@@ -251,6 +354,8 @@ def fig8(
         degree_of=dataset.out_degree_of,
         metric="ccdf",
         title="Figure 8 — out-degree CNMSE on livejournal-like",
+        backend=backend,
+        procs=procs,
     )
 
 
@@ -259,6 +364,8 @@ def fig10(
     runs: int = 100,
     dimension: int = 100,
     root_seed: int = 110,
+    backend: Optional[Backend] = None,
+    procs: Optional[int] = None,
 ) -> DegreeErrorResult:
     """Degree CNMSE on GAB — the loosely connected stress test."""
     dataset = gab(scale)
@@ -271,6 +378,8 @@ def fig10(
         root_seed=root_seed,
         metric="ccdf",
         title="Figure 10 — degree CNMSE on GAB",
+        backend=backend,
+        procs=procs,
     )
 
 
@@ -279,6 +388,8 @@ def fig11(
     runs: int = 100,
     dimension: int = 100,
     root_seed: int = 111,
+    backend: Optional[Backend] = None,
+    procs: Optional[int] = None,
 ) -> DegreeErrorResult:
     """SingleRW/MultipleRW seeded *in steady state* vs uniformly seeded
     FS: the baselines catch up, showing their earlier losses came from
@@ -302,22 +413,45 @@ def fig11(
         metric="ccdf",
         title="Figure 11 — in-degree CNMSE, baselines seeded in steady"
         " state (flickr-like)",
+        backend=backend,
+        procs=procs,
     )
 
 
 # ----------------------------------------------------------------------
 # Figures 12, 13 — FS vs independent vertex/edge sampling
 # ----------------------------------------------------------------------
+def _fig12_analytic_overlays(
+    result: DegreeErrorResult, graph, budget: float, degree_of: DegreeOf
+) -> None:
+    """Attach the eq. (3)/(4) analytic overlays, at the same
+    *effective* sample counts the simulated methods obtained."""
+    vertex_curve, _ = analytic_nmse_curves(graph, budget, degree_of=degree_of)
+    _, edge_half = analytic_nmse_curves(
+        graph, budget / 2.0, degree_of=degree_of
+    )
+    result.curves["analytic RV (eq.4)"] = vertex_curve
+    result.curves["analytic RE (eq.3)"] = edge_half
+
+
 def fig12(
     scale: float = 1.0,
     runs: int = 100,
     dimension: int = 100,
     root_seed: int = 112,
     include_analytic: bool = True,
-) -> DegreeErrorResult:
+    budgets: BudgetsArg = None,
+    backend: Optional[Backend] = None,
+    procs: Optional[int] = None,
+) -> Union[DegreeErrorResult, BudgetSweepResult]:
     """NMSE of in-degree density: random edge vs random vertex vs FS at
     100% hit ratio.  Edge sampling should win above the average degree
-    (the Section 3 crossover) and FS should track edge sampling."""
+    (the Section 3 crossover) and FS should track edge sampling.
+
+    ``budgets`` turns the figure into a single-walk-per-replicate
+    error-versus-budget sweep (see :func:`fig4`); the analytic
+    overlays are recomputed at each budget checkpoint.
+    """
     dataset = flickr_like(scale)
     budget = dataset.graph.num_vertices / 10
     samplers: Dict[str, Sampler] = {
@@ -325,6 +459,30 @@ def fig12(
         "RandomVertex": RandomVertexSampler(hit_ratio=1.0),
         f"FS(m={dimension})": FrontierSampler(dimension),
     }
+    schedule = _budget_schedule(budgets, budget)
+    if schedule is not None:
+        sweep = degree_error_budget_sweep(
+            dataset.graph,
+            samplers,
+            schedule,
+            runs,
+            root_seed=root_seed,
+            degree_of=dataset.in_degree_of,
+            metric="pmf",
+            title="Figure 12 — in-degree NMSE, 100% hit ratio"
+            " (flickr-like, budget sweep)",
+            backend=backend,
+            procs=procs,
+        )
+        if include_analytic:
+            for checkpoint, point_result in sweep.results.items():
+                _fig12_analytic_overlays(
+                    point_result,
+                    dataset.graph,
+                    checkpoint,
+                    dataset.in_degree_of,
+                )
+        return sweep
     result = degree_error_experiment(
         dataset.graph,
         samplers,
@@ -334,18 +492,13 @@ def fig12(
         degree_of=dataset.in_degree_of,
         metric="pmf",
         title="Figure 12 — in-degree NMSE, 100% hit ratio (flickr-like)",
+        backend=backend,
+        procs=procs,
     )
     if include_analytic:
-        # Analytic eq. (3)/(4) overlays, at the same *effective* sample
-        # counts the simulated methods obtained.
-        vertex_curve, edge_curve = analytic_nmse_curves(
-            dataset.graph, budget, degree_of=dataset.in_degree_of
+        _fig12_analytic_overlays(
+            result, dataset.graph, budget, dataset.in_degree_of
         )
-        _, edge_half = analytic_nmse_curves(
-            dataset.graph, budget / 2.0, degree_of=dataset.in_degree_of
-        )
-        result.curves["analytic RV (eq.4)"] = vertex_curve
-        result.curves["analytic RE (eq.3)"] = edge_half
     return result
 
 
@@ -356,6 +509,8 @@ def fig13(
     root_seed: int = 113,
     vertex_hit_ratio: float = 0.1,
     edge_hit_ratio: float = 0.025,
+    backend: Optional[Backend] = None,
+    procs: Optional[int] = None,
 ) -> DegreeErrorResult:
     """Sparse id space: random vertex pays a 10% hit ratio, random edge
     an even lower one, while FS pays the vertex cost only for its m
@@ -389,6 +544,8 @@ def fig13(
         metric="ccdf",
         title="Figure 13 — in-degree CNMSE under sparse id space"
         " (livejournal-like)",
+        backend=backend,
+        procs=procs,
     )
 
 
@@ -435,6 +592,8 @@ def fig14(
     dimension: int = 100,
     top_groups: int = 10,
     root_seed: int = 114,
+    backend: Optional[Backend] = None,
+    procs: Optional[int] = None,
 ) -> GroupDensityResult:
     """NMSE of the density of the most popular groups (Section 6.5).
 
@@ -442,6 +601,11 @@ def fig14(
     ~100x smaller: group densities need theta * B >> 1 sampled members
     per group to be estimable at all, and the paper's absolute budget
     (17k queries) dwarfs ours at |V|/100.
+
+    Runs as an engine plan: one
+    :class:`~repro.estimators.streaming.StreamingVertexDensity`
+    accumulator per replicate, replicates fanned across ``procs``
+    worker processes when asked.
     """
     dataset = flickr_like(scale)
     graph = dataset.graph
@@ -458,21 +622,34 @@ def fig14(
         "SingleRW": SingleRandomWalk(),
         f"MultipleRW(m={dimension})": MultipleRandomWalk(dimension),
     }
-    curves: Dict[str, Dict[int, float]] = {}
-    for method_index, (method, sampler) in enumerate(sorted(samplers.items())):
-        per_run: List[Dict[int, float]] = []
-        for run_index in range(runs):
-            rng = child_rng(root_seed + 7919 * method_index, run_index)
-            trace = sampler.sample(graph, budget, rng)
-            per_run.append(
-                vertex_label_densities_from_trace(
-                    graph, trace, labels, scored_groups
-                )
+
+    def accumulator(method: str) -> StreamingVertexDensity:
+        return StreamingVertexDensity(graph, labels, scored_groups)
+
+    def snapshot(method: str, acc: StreamingVertexDensity, checkpoint: float):
+        return acc.estimate()
+
+    plan = ExperimentPlan(
+        title="Figure 14 — NMSE of top group densities (flickr-like)",
+        graph=graph,
+        samplers=samplers,
+        budgets=[budget],
+        accumulator=accumulator,
+        snapshot=snapshot,
+        root_seed=root_seed,
+        backend=backend,
+    )
+    outcome = run_plan(plan, runs, procs=procs)
+    curves: Dict[str, Dict[int, float]] = {
+        method: {
+            group: nmse(
+                [estimate[group] for estimate in outcome.measurements(method)],
+                truth[group],
             )
-        curves[method] = {
-            group: nmse([run[group] for run in per_run], truth[group])
             for group in scored_groups
         }
+        for method in outcome.methods
+    }
     return GroupDensityResult(
         title="Figure 14 — NMSE of top group densities (flickr-like)",
         budget=budget,

@@ -1,30 +1,31 @@
-"""Replicated-run engine.
+"""Replicated-run primitives (thin wrappers over the experiment engine).
 
 Experiments are Monte Carlo averages over independent runs.  Each run
 gets a child RNG derived from the experiment's root seed, so any run
 can be reproduced in isolation and adding runs never perturbs earlier
 ones.
 
-Runs can be pinned to a sampling backend (``backend="csr"`` routes
-every sampler constructed without an explicit backend through the
-vectorized CSR engine); the default backend is restored when the
-replication finishes, even on error.  On the csr backend the fast path
-is end to end: the walk produces an
-:class:`~repro.sampling.vectorized.ArrayWalkTrace` and every estimator
-in :mod:`repro.estimators` reweights over its int64 step arrays
-(via :mod:`repro.estimators._vectorized`) instead of looping Python
-tuples — run code does not need to do anything besides pass the trace
-along.
+.. deprecated:: PR 5
+    Hand-rolled closure replication is the legacy shape of the
+    evaluation layer.  New experiment code should declare an
+    :class:`~repro.experiments.engine.ExperimentPlan` and execute it
+    with :func:`~repro.experiments.engine.run_plan`, which adds
+    resumable one-walk-per-replicate budget sweeps, streaming
+    accumulation and multi-process fan-out on top of the same child
+    streams.  ``replicate`` and ``replicate_incremental`` remain as
+    thin wrappers over the engine's bare primitives
+    (:func:`~repro.experiments.engine.map_replicates` /
+    :func:`~repro.experiments.engine.map_incremental`) for ad-hoc
+    Monte Carlo loops.
 """
 
 from __future__ import annotations
 
 import random
-from contextlib import nullcontext
 from typing import Callable, List, Optional, Sequence, TypeVar
 
-from repro.sampling.base import Backend, use_backend
-from repro.util.rng import child_rng
+from repro.experiments.engine import map_incremental, map_replicates
+from repro.sampling.base import Backend
 
 __all__ = ["replicate", "replicate_incremental", "replicate_traces"]
 
@@ -42,13 +43,13 @@ def replicate(
 
     ``backend`` (optional) temporarily sets the process-default
     sampling backend for the duration of the replication.
+
+    Thin wrapper over :func:`repro.experiments.engine.map_replicates`;
+    prefer :func:`~repro.experiments.engine.run_plan` for anything
+    shaped like a figure/table experiment (it shares these exact child
+    streams and adds session reuse plus ``procs`` fan-out).
     """
-    if runs < 1:
-        raise ValueError(f"runs must be >= 1, got {runs}")
-    if backend is None:
-        return [run(child_rng(root_seed, index)) for index in range(runs)]
-    with use_backend(backend):
-        return [run(child_rng(root_seed, index)) for index in range(runs)]
+    return map_replicates(run, runs, root_seed=root_seed, backend=backend)
 
 
 def replicate_incremental(
@@ -71,25 +72,15 @@ def replicate_incremental(
     scratch.
 
     Returns ``result[run][i]`` = the measurement at ``budgets[i]``.
+
+    Thin wrapper over :func:`repro.experiments.engine.map_incremental`;
+    prefer :func:`~repro.experiments.engine.run_plan`, which drains
+    increments into streaming accumulators and can fan replicates
+    across processes.
     """
-    if runs < 1:
-        raise ValueError(f"runs must be >= 1, got {runs}")
-    checkpoints = [float(b) for b in budgets]
-    if not checkpoints:
-        raise ValueError("budgets must be non-empty")
-    if any(b > a for b, a in zip(checkpoints, checkpoints[1:])):
-        raise ValueError(f"budgets must be non-decreasing, got {budgets}")
-    context = use_backend(backend) if backend is not None else nullcontext()
-    results: List[List[T]] = []
-    with context:
-        for index in range(runs):
-            session = start(child_rng(root_seed, index))
-            row: List[T] = []
-            for budget in checkpoints:
-                session.advance_budget(budget)
-                row.append(measure(session, budget))
-            results.append(row)
-    return results
+    return map_incremental(
+        start, measure, budgets, runs, root_seed=root_seed, backend=backend
+    )
 
 
 def replicate_traces(

@@ -6,6 +6,14 @@ for a handful of independent runs, with FS and MultipleRW pinned to
 the same initial vertices.  They make visible *why* the error curves
 differ: walkers trapped in small components keep SingleRW/MultipleRW
 estimates away from the truth while every FS path converges quickly.
+
+Each path is one engine replicate (:func:`~repro.experiments.engine.
+run_plan` with a ``"steps"`` schedule): a picklable
+:class:`PinnedSeedStarter` derives the path's shared uniform seeds
+from the path-index child stream and pins every method's walkers to
+them, exactly as the paper describes — so paths can fan out across
+worker processes with ``procs`` and stay bit-identical to the
+in-process run.
 """
 
 from __future__ import annotations
@@ -13,10 +21,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
+from repro.experiments.engine import ExperimentPlan, run_plan
 from repro.graph.graph import Graph
-from repro.sampling.base import Edge, uniform_seeds
+from repro.sampling.base import Backend, Edge, uniform_seeds
 from repro.sampling.frontier import FrontierSampler
-from repro.sampling.single import random_walk
+from repro.sampling.multiple import MultipleRandomWalk
+from repro.sampling.single import SingleRandomWalk
 from repro.util.rng import child_rng
 
 DegreeOf = Callable[[int], int]
@@ -115,6 +125,33 @@ def default_checkpoints(total_steps: int, count: int = 12) -> List[int]:
     return points
 
 
+@dataclass(frozen=True)
+class PinnedSeedStarter:
+    """Picklable engine starter pinning a path's shared seeds.
+
+    Per path (= engine replicate ``index``), the ``dimension`` uniform
+    seeds are drawn from ``child_rng(seed_root, index)`` — one stream
+    shared by every method, so FS, SingleRW (first seed only) and
+    MultipleRW start from identical vertices as the paper requires —
+    and the walk itself runs on the method's own
+    ``child_rng(method_seed, index)`` stream.  Module-level and
+    frozen, so ``procs`` fan-out can ship it to spawn workers.
+    """
+
+    kind: str  # "frontier" | "single" | "multiple"
+    dimension: int
+    seed_root: int
+
+    def __call__(self, sampler, graph, root_seed: int, index: int):
+        seeds = uniform_seeds(
+            graph, self.dimension, child_rng(self.seed_root, index)
+        )
+        rng = child_rng(root_seed, index)
+        if self.kind == "single":
+            return sampler.start(graph, rng, initial_vertices=[seeds[0]])
+        return sampler.start(graph, rng, initial_vertices=seeds)
+
+
 def sample_paths(
     graph: Graph,
     target_degree: int,
@@ -126,54 +163,73 @@ def sample_paths(
     degree_of: Optional[DegreeOf] = None,
     checkpoints: Optional[Sequence[int]] = None,
     title: str = "sample paths",
+    backend: Optional[Backend] = None,
+    procs: Optional[int] = None,
 ) -> SamplePathResult:
     """Figures 6/9: trajectories of ``theta_hat(target_degree)``.
 
     Per path, FS and MultipleRW start from the *same* ``dimension``
     uniform seeds (as the paper does); SingleRW starts from the first
-    of them.  Every method takes ``total_steps`` steps.
+    of them.  FS and SingleRW take ``total_steps`` steps; MultipleRW's
+    ``dimension`` walkers take ``total_steps // dimension`` each, and
+    their round-robin interleaving is scored so step ``n`` reflects
+    simultaneous progress.  One engine replicate per path; ``procs``
+    fans paths across worker processes bit-identically.
     """
     label = degree_of if degree_of is not None else graph.degree
     marks = list(checkpoints) if checkpoints else default_checkpoints(total_steps)
+    samplers = {
+        "FS": FrontierSampler(dimension),
+        "SingleRW": SingleRandomWalk(),
+        "MultipleRW": MultipleRandomWalk(dimension),
+    }
+    plan = ExperimentPlan(
+        title=title,
+        graph=graph,
+        samplers=samplers,
+        # Step-count schedule: MultipleRW's session counts steps per
+        # walker, so its single checkpoint is the per-walker depth.
+        budgets={
+            "FS": [total_steps],
+            "SingleRW": [total_steps],
+            "MultipleRW": [total_steps // dimension],
+        },
+        schedule="steps",
+        method_seed={
+            "FS": root_seed + 1000,
+            "SingleRW": root_seed + 2000,
+            "MultipleRW": root_seed + 3000,
+        },
+        starter={
+            "FS": PinnedSeedStarter("frontier", dimension, root_seed),
+            "SingleRW": PinnedSeedStarter("single", dimension, root_seed),
+            "MultipleRW": PinnedSeedStarter("multiple", dimension, root_seed),
+        },
+        backend=backend,
+    )
+    outcome = run_plan(plan, num_paths, procs=procs)
     result = SamplePathResult(
         title=title,
         target_degree=target_degree,
         true_value=true_value,
         checkpoints=marks,
     )
-    fs_paths: List[List[float]] = []
-    single_paths: List[List[float]] = []
-    multiple_paths: List[List[float]] = []
-    sampler = FrontierSampler(dimension)
-    for path_index in range(num_paths):
-        seed_rng = child_rng(root_seed, path_index)
-        seeds = uniform_seeds(graph, dimension, seed_rng)
-
-        fs_trace = sampler.sample_from(
-            graph, seeds, total_steps, child_rng(root_seed + 1000, path_index)
+    result.paths["FS"] = [
+        _prefix_estimates(graph, trace.edges, target_degree, label, marks)
+        for trace in outcome.measurements("FS")
+    ]
+    result.paths["SingleRW"] = [
+        _prefix_estimates(graph, trace.edges, target_degree, label, marks)
+        for trace in outcome.measurements("SingleRW")
+    ]
+    result.paths["MultipleRW"] = [
+        _prefix_estimates(
+            graph,
+            _interleave(trace.per_walker),
+            target_degree,
+            label,
+            marks,
         )
-        fs_paths.append(
-            _prefix_estimates(graph, fs_trace.edges, target_degree, label, marks)
-        )
-
-        single_edges = random_walk(
-            graph, seeds[0], total_steps, child_rng(root_seed + 2000, path_index)
-        )
-        single_paths.append(
-            _prefix_estimates(graph, single_edges, target_degree, label, marks)
-        )
-
-        rng = child_rng(root_seed + 3000, path_index)
-        per_walker = [
-            random_walk(graph, seed, total_steps // dimension, rng)
-            for seed in seeds
-        ]
-        multiple_paths.append(
-            _prefix_estimates(
-                graph, _interleave(per_walker), target_degree, label, marks
-            )
-        )
-    result.paths["FS"] = fs_paths
-    result.paths["SingleRW"] = single_paths
-    result.paths["MultipleRW"] = multiple_paths
+        for trace in outcome.measurements("MultipleRW")
+    ]
     return result

@@ -23,6 +23,7 @@ from repro.datasets.registry import (
 )
 from repro.estimators.assortativity import assortativity_from_trace
 from repro.estimators.clustering import global_clustering_from_trace
+from repro.experiments.engine import ExperimentPlan, run_plan
 from repro.experiments.render import format_float, render_table
 from repro.graph.components import largest_connected_component
 from repro.graph.summary import GraphSummary
@@ -31,11 +32,10 @@ from repro.metrics.exact import (
     true_global_clustering,
     true_undirected_assortativity,
 )
-from repro.sampling.base import Sampler
+from repro.sampling.base import Backend, Sampler
 from repro.sampling.frontier import FrontierSampler
 from repro.sampling.multiple import MultipleRandomWalk
 from repro.sampling.single import SingleRandomWalk
-from repro.util.rng import child_rng
 
 
 # ----------------------------------------------------------------------
@@ -52,16 +52,30 @@ class Table1Result:
 
 
 def table1(scale: float = 1.0) -> Table1Result:
-    """Regenerate Table 1 for every stand-in dataset."""
-    datasets = [
-        flickr_like(scale),
-        livejournal_like(scale),
-        youtube_like(scale),
-        internet_rlt_like(scale),
-        hepth_like(scale),
-        gab(scale),
+    """Regenerate Table 1 for every stand-in dataset.
+
+    Descriptive (no replication): its engine plans carry empty sampler
+    grids — the engine resolves each dataset factory and the exact
+    summary is read off the resolved graph.
+    """
+    factories = [
+        ("flickr-like", flickr_like),
+        ("livejournal-like", livejournal_like),
+        ("youtube-like", youtube_like),
+        ("internet-rlt-like", internet_rlt_like),
+        ("hepth-like", hepth_like),
+        ("gab", gab),
     ]
-    return Table1Result([d.summary() for d in datasets])
+    summaries = []
+    for name, factory in factories:
+        plan = ExperimentPlan(
+            title=f"Table 1 ({name})",
+            graph=lambda factory=factory: factory(scale),
+            samplers={},
+        )
+        dataset = run_plan(plan, replicates=0).graph
+        summaries.append(dataset.summary())
+    return Table1Result(summaries)
 
 
 # ----------------------------------------------------------------------
@@ -101,6 +115,37 @@ class Table2Result:
         )
 
 
+def _scalar_trace_plan(
+    title: str,
+    graph,
+    samplers: Dict[str, Sampler],
+    budget: float,
+    seed: int,
+    estimate,
+    backend: Optional[Backend],
+) -> ExperimentPlan:
+    """A one-budget plan whose snapshot runs a batch whole-trace
+    estimator over the replicate's collected trace.
+
+    Every method replicates on the *same* child streams (the
+    historical tables drew one stream per ``(dataset, run)`` shared by
+    all methods), hence the constant ``method_seed``.
+    """
+
+    def snapshot(method: str, collector, checkpoint: float) -> float:
+        return estimate(collector.trace())
+
+    return ExperimentPlan(
+        title=title,
+        graph=graph,
+        samplers=samplers,
+        budgets=[float(budget)],
+        snapshot=snapshot,
+        backend=backend,
+        method_seed={method: seed for method in samplers},
+    )
+
+
 def table2(
     scale: float = 1.0,
     runs: int = 100,
@@ -108,11 +153,15 @@ def table2(
     dimension: int = 100,
     root_seed: int = 2,
     datasets: Optional[List[Dataset]] = None,
+    backend: Optional[Backend] = None,
+    procs: Optional[int] = None,
 ) -> Table2Result:
     """Regenerate Table 2: assortativity bias and NMSE per method.
 
     The paper treats every graph as undirected here (Section 6.1), so
-    the target is the symmetric degree-degree correlation.
+    the target is the symmetric degree-degree correlation.  Each
+    (dataset, method) cell replicates through the engine; ``procs``
+    fans the replicates across worker processes.
     """
     if datasets is None:
         datasets = [
@@ -132,16 +181,20 @@ def table2(
             "MultipleRW": MultipleRandomWalk(dimension),
             "SingleRW": SingleRandomWalk(),
         }
+        plan = _scalar_trace_plan(
+            f"Table 2 — assortativity ({dataset.name})",
+            graph,
+            samplers,
+            budget,
+            root_seed + 104729 * dataset_index,
+            lambda trace: assortativity_from_trace(graph, trace),
+            backend,
+        )
+        outcome = run_plan(plan, runs, procs=procs)
         bias: Dict[str, float] = {}
         error: Dict[str, float] = {}
-        for method, sampler in samplers.items():
-            estimates: List[float] = []
-            for run_index in range(runs):
-                rng = child_rng(
-                    root_seed + 104729 * dataset_index, run_index
-                )
-                trace = sampler.sample(graph, budget, rng)
-                estimates.append(assortativity_from_trace(graph, trace))
+        for method in samplers:
+            estimates = outcome.measurements(method)
             if truth == 0:
                 # Degenerate truth; report raw mean as bias proxy.
                 bias[method] = sum(estimates) / len(estimates)
@@ -204,9 +257,12 @@ def table3(
     dimension: int = 100,
     root_seed: int = 3,
     datasets: Optional[List[Dataset]] = None,
+    backend: Optional[Backend] = None,
+    procs: Optional[int] = None,
 ) -> Table3Result:
     """Regenerate Table 3: E[C_hat] and NMSE on Flickr and LiveJournal
-    stand-ins for FS, SingleRW and MultipleRW."""
+    stand-ins for FS, SingleRW and MultipleRW.  Replicates run through
+    the engine; ``procs`` fans them across worker processes."""
     if datasets is None:
         datasets = [flickr_like(scale), livejournal_like(scale)]
     result = Table3Result(rows=[], budget_fraction=budget_fraction, runs=runs)
@@ -219,16 +275,20 @@ def table3(
             "MultipleRW": MultipleRandomWalk(dimension),
             "SingleRW": SingleRandomWalk(),
         }
+        plan = _scalar_trace_plan(
+            f"Table 3 — clustering ({dataset.name})",
+            graph,
+            samplers,
+            budget,
+            root_seed + 15485863 * dataset_index,
+            lambda trace: global_clustering_from_trace(graph, trace),
+            backend,
+        )
+        outcome = run_plan(plan, runs, procs=procs)
         means: Dict[str, float] = {}
         errors: Dict[str, float] = {}
-        for method, sampler in samplers.items():
-            estimates: List[float] = []
-            for run_index in range(runs):
-                rng = child_rng(
-                    root_seed + 15485863 * dataset_index, run_index
-                )
-                trace = sampler.sample(graph, budget, rng)
-                estimates.append(global_clustering_from_trace(graph, trace))
+        for method in samplers:
+            estimates = outcome.measurements(method)
             means[method] = sum(estimates) / len(estimates)
             errors[method] = nmse(estimates, truth)
         result.rows.append(
@@ -326,12 +386,23 @@ def _table4_graphs(size: int, seed: int):
     }
 
 
+def _final_edge_snapshot(method: str, collector, checkpoint: float):
+    """The replicate's last sampled edge (``None`` for empty traces)."""
+    edges = collector.trace().edges
+    if not edges:
+        return None
+    u, v = edges[-1]
+    return (int(u), int(v))
+
+
 def table4(
     graph_size: int = 150,
     num_walkers: int = 10,
     mc_runs: int = 50_000,
     root_seed: int = 4,
     budgets: Optional[Dict[str, int]] = None,
+    backend: Optional[Backend] = None,
+    procs: Optional[int] = None,
 ) -> Table4Result:
     """Regenerate Table 4 on miniature LCCs of the three smallest
     stand-ins.
@@ -341,8 +412,14 @@ def table4(
     finite runs cancels across methods.  Budgets use the paper's K=10
     and B in {20, 30}, chosen so the budget stays far below the mixing
     time — the regime Table 4 probes on its 10^5-10^6-vertex graphs.
+
+    The Monte Carlo runs through the engine: every replicate's final
+    sampled edge is the snapshot, and
+    :func:`repro.markov.transient.final_edge_gap_from_edges`
+    aggregates them; ``procs`` fans the (many) replicates across
+    worker processes.
     """
-    from repro.markov.transient import walk_trace_final_edge_gap
+    from repro.markov.transient import final_edge_gap_from_edges
 
     if budgets is None:
         budgets = {
@@ -357,17 +434,28 @@ def table4(
         "MRW": MultipleRandomWalk(num_walkers),
         "SRW": SingleRandomWalk(),
     }
+    method_seed = {
+        method: root_seed + 31 * method_index
+        for method_index, method in enumerate(samplers)
+    }
     for name, budget in budgets.items():
         lcc, _ = largest_connected_component(graphs[name])
-        gaps: Dict[str, float] = {}
-        for method_index, (method, sampler) in enumerate(samplers.items()):
-            gaps[method] = walk_trace_final_edge_gap(
-                lcc,
-                sampler,
-                budget,
-                runs=mc_runs,
-                root_seed=root_seed + 31 * method_index,
+        plan = ExperimentPlan(
+            title=f"Table 4 ({name})",
+            graph=lcc,
+            samplers=samplers,
+            budgets=[float(budget)],
+            snapshot=_final_edge_snapshot,
+            method_seed=method_seed,
+            backend=backend,
+        )
+        outcome = run_plan(plan, mc_runs, procs=procs)
+        gaps: Dict[str, float] = {
+            method: final_edge_gap_from_edges(
+                lcc, outcome.measurements(method)
             )
+            for method in samplers
+        }
         result.rows.append(
             Table4Row(graph_name=name, budget=budget, gaps=gaps)
         )

@@ -25,6 +25,7 @@ from repro.markov.frontier_chain import (
     frontier_transition_matrix,
 )
 from repro.markov.transient import (
+    final_edge_gap_from_edges,
     multiple_rw_worst_case_gap,
     single_rw_edge_probabilities,
     single_rw_worst_case_gap,
@@ -55,5 +56,6 @@ __all__ = [
     "single_rw_worst_case_gap",
     "step_distribution",
     "total_variation_distance",
+    "final_edge_gap_from_edges",
     "walk_trace_final_edge_gap",
 ]

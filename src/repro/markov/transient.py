@@ -15,7 +15,7 @@ uses a Monte Carlo estimate over full trace simulations.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Iterable, Optional
 
 from repro.graph.graph import Graph
 from repro.markov.chain import distribution_after, uniform_distribution
@@ -86,6 +86,38 @@ def multiple_rw_worst_case_gap(
     return single_rw_worst_case_gap(graph, steps)
 
 
+def final_edge_gap_from_edges(
+    graph: Graph, final_edges: Iterable[Optional[Edge]]
+) -> float:
+    """Table 4's statistic from per-run final edges.
+
+    ``final_edges`` holds each run's last sampled edge (``None`` for a
+    run whose trace was empty — those are skipped).  Edges never seen
+    have estimated probability zero — they dominate the max, exactly
+    as they should: the walker demonstrably cannot reach them by step
+    B.  This is the measurement-side half of
+    :func:`walk_trace_final_edge_gap`, split out so the experiment
+    engine can replicate the traces (and fan them across processes)
+    while the gap aggregation stays here.
+    """
+    counts: Dict[Edge, int] = {}
+    effective_runs = 0
+    for edge in final_edges:
+        if edge is None:
+            continue
+        counts[edge] = counts.get(edge, 0) + 1
+        effective_runs += 1
+    if effective_runs == 0:
+        raise ValueError("no run produced any sampled edge")
+    probabilities = {
+        edge: count / effective_runs for edge, count in counts.items()
+    }
+    for u in graph.vertices():
+        for v in graph.neighbors(u):
+            probabilities.setdefault((u, v), 0.0)
+    return worst_case_gap(probabilities, graph.volume())
+
+
 def walk_trace_final_edge_gap(
     graph: Graph,
     sampler: Sampler,
@@ -101,25 +133,11 @@ def walk_trace_final_edge_gap(
     """
     if runs < 1:
         raise ValueError(f"runs must be >= 1, got {runs}")
-    counts: Dict[Edge, int] = {}
-    effective_runs = 0
-    for run_index in range(runs):
-        rng = child_rng(root_seed, run_index)
-        trace: WalkTrace = sampler.sample(graph, budget, rng)
-        if not trace.edges:
-            continue
-        final_edge = trace.edges[-1]
-        counts[final_edge] = counts.get(final_edge, 0) + 1
-        effective_runs += 1
-    if effective_runs == 0:
-        raise ValueError("no run produced any sampled edge")
-    probabilities = {
-        edge: count / effective_runs for edge, count in counts.items()
-    }
-    # Edges never seen have estimated probability zero — they dominate
-    # the max, exactly as they should: the walker demonstrably cannot
-    # reach them by step B.
-    for u in graph.vertices():
-        for v in graph.neighbors(u):
-            probabilities.setdefault((u, v), 0.0)
-    return worst_case_gap(probabilities, graph.volume())
+
+    def final_edges():
+        for run_index in range(runs):
+            rng = child_rng(root_seed, run_index)
+            trace: WalkTrace = sampler.sample(graph, budget, rng)
+            yield trace.edges[-1] if trace.edges else None
+
+    return final_edge_gap_from_edges(graph, final_edges())

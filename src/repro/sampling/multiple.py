@@ -10,7 +10,7 @@ failure mode Figures 1, 5 and 9 exhibit.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional
 
 from repro.graph.graph import Graph
 from repro.sampling.base import (
@@ -18,6 +18,7 @@ from repro.sampling.base import (
     Sampler,
     SeedingMode,
     check_backend,
+    check_pinned_seeds,
     check_seeding,
     multiple_walk_steps,
     resolve_backend,
@@ -50,21 +51,35 @@ class MultipleRandomWalk(Sampler):
         """``floor(B/m - c)`` as in Section 4.4, floored at zero."""
         return multiple_walk_steps(budget, self.num_walkers, self.seed_cost)
 
-    def start(self, graph: Graph, rng: RngLike = None):
+    def start(
+        self,
+        graph: Graph,
+        rng: RngLike = None,
+        initial_vertices: Optional[List[int]] = None,
+    ):
         """Seed ``m`` walkers and return their incremental session.
 
         The walkers share one random stream walker-by-walker, so the
         session's trace depends on its ``advance`` chunk boundaries;
         one ``advance_budget`` call reproduces the one-shot draw order.
+        ``initial_vertices`` pins the ``m`` walker starts instead of
+        drawing seeds (the sample-path experiments pin MultipleRW to
+        the same seeds as FS).
         """
         from repro.sampling.session import (
             ArrayMultipleSession,
             MultipleWalkSession,
         )
 
+        if initial_vertices is not None:
+            check_pinned_seeds(initial_vertices, self.num_walkers)
         if resolve_backend(self.backend, graph) == "csr":
-            return ArrayMultipleSession(self, graph, rng)
-        return MultipleWalkSession(self, graph, rng)
+            return ArrayMultipleSession(
+                self, graph, rng, initial_vertices=initial_vertices
+            )
+        return MultipleWalkSession(
+            self, graph, rng, initial_vertices=initial_vertices
+        )
 
     def __repr__(self) -> str:
         return (

@@ -63,7 +63,7 @@ from repro.sampling.vectorized import (
 )
 from repro.util.alias import AliasTable
 from repro.util.fenwick import FenwickTree
-from repro.util.rng import RngLike, ensure_np_rng, ensure_rng
+from repro.util.rng import RngLike, child_rng, ensure_np_rng, ensure_rng
 
 PathLike = Union[str, Path]
 
@@ -317,6 +317,56 @@ class SamplerSession(abc.ABC):
         )
 
 
+def default_session_starter(sampler, graph, root_seed: int, index: int):
+    """Open replicate ``index``'s session on its ``child_rng`` stream.
+
+    THE replicate-stream derivation — the one
+    :func:`repro.experiments.runner.replicate` hands out, the one
+    :class:`~repro.sampling.sharded.ShardedSessionPool` workers use,
+    and the experiment engine's default starter.  A single definition
+    keeps in-process and pooled replication bit-identical by
+    construction.
+    """
+    return sampler.start(graph, rng=child_rng(root_seed, index))
+
+
+def drain_session_checkpoints(
+    session: SamplerSession,
+    schedule: str,
+    checkpoints: Sequence[float],
+) -> Tuple[list, int]:
+    """Advance ``session`` through ``checkpoints``, draining each one.
+
+    ``schedule="budget"`` advances with ``advance_budget(checkpoint)``;
+    ``schedule="steps"`` treats checkpoints as cumulative step counts
+    (per-walker steps for MultipleRW) and uses plain ``advance``.
+    Returns ``(increments, steps_taken)`` — the per-checkpoint
+    ``take_trace()`` drains and the session's final step count.  The
+    session is closed (when it owns resources) before returning.
+
+    This is THE anytime replication loop: the experiment engine's
+    in-process path and the :class:`~repro.sampling.sharded.
+    ShardedSessionPool` spawn workers both run this exact function, so
+    the two paths cannot drift apart — which is what makes ``procs``
+    a statistics-invariant deployment knob.
+    """
+    try:
+        increments = []
+        for checkpoint in checkpoints:
+            if schedule == "steps":
+                session.advance(
+                    max(0, int(checkpoint) - session.steps_taken)
+                )
+            else:
+                session.advance_budget(checkpoint)
+            increments.append(session.take_trace())
+        return increments, int(session.steps_taken)
+    finally:
+        closer = getattr(session, "close", None)
+        if closer is not None:
+            closer()
+
+
 def load_session(path: PathLike, graph) -> SamplerSession:
     """Load a checkpoint written by :meth:`SamplerSession.save`.
 
@@ -381,11 +431,25 @@ class _ListSession(SamplerSession):
 
 
 class SingleWalkSession(_ListSession):
-    """SingleRW: one walker, one ``random_neighbor`` draw per step."""
+    """SingleRW: one walker, one ``random_neighbor`` draw per step.
 
-    def __init__(self, sampler, graph, rng: RngLike = None):
+    ``initial_vertices`` pins the walker's start instead of drawing a
+    seed (no seed uniforms are consumed then) — the sample-path
+    experiments pin SingleRW to the first of FS's seeds.
+    """
+
+    def __init__(
+        self,
+        sampler,
+        graph,
+        rng: RngLike = None,
+        initial_vertices: Optional[Sequence[int]] = None,
+    ):
         generator = ensure_rng(rng)
-        seeds = make_seeds(graph, 1, sampler.seeding, generator)
+        if initial_vertices is None:
+            seeds = make_seeds(graph, 1, sampler.seeding, generator)
+        else:
+            seeds = [int(v) for v in initial_vertices]
         super().__init__(sampler, graph, seeds, generator)
         self.position = seeds[0]
         if graph.degree(self.position) == 0:
@@ -414,11 +478,23 @@ class MultipleWalkSession(_ListSession):
     _split_budget = True
     _with_walkers = True
 
-    def __init__(self, sampler, graph, rng: RngLike = None):
+    def __init__(
+        self,
+        sampler,
+        graph,
+        rng: RngLike = None,
+        initial_vertices: Optional[Sequence[int]] = None,
+    ):
         generator = ensure_rng(rng)
-        seeds = make_seeds(
-            graph, sampler.num_walkers, sampler.seeding, generator
-        )
+        if initial_vertices is None:
+            seeds = make_seeds(
+                graph, sampler.num_walkers, sampler.seeding, generator
+            )
+        else:
+            seeds = [int(v) for v in initial_vertices]
+            require_walkable_seeds(
+                graph, seeds, "MultipleRW cannot walk from it"
+            )
         super().__init__(sampler, graph, seeds, generator)
         self.positions = list(seeds)
 
@@ -652,9 +728,29 @@ class _ArraySession(SamplerSession):
 class ArraySingleSession(_ArraySession):
     """SingleRW on the csr backend."""
 
-    def __init__(self, sampler, graph, rng: RngLike = None, native=None):
+    def __init__(
+        self,
+        sampler,
+        graph,
+        rng: RngLike = None,
+        native=None,
+        initial_vertices: Optional[Sequence[int]] = None,
+    ):
+        self._pinned_seeds = (
+            None
+            if initial_vertices is None
+            else [int(v) for v in initial_vertices]
+        )
         super().__init__(sampler, graph, rng, native)
         self.position = self.initial_vertices[0]
+        require_walkable_seeds(
+            self._fast, [self.position], "SingleRW cannot walk from it"
+        )
+
+    def _draw_seeds(self, sampler, generator) -> List[int]:
+        if self._pinned_seeds is not None:
+            return self._pinned_seeds
+        return super()._draw_seeds(sampler, generator)
 
     def _advance(self, steps: int) -> None:
         sources, targets = vectorized.run_random_walk(
@@ -670,11 +766,28 @@ class ArrayMultipleSession(_ArraySession):
     _split_budget = True
     _with_walkers = True
 
-    def __init__(self, sampler, graph, rng: RngLike = None, native=None):
+    def __init__(
+        self,
+        sampler,
+        graph,
+        rng: RngLike = None,
+        native=None,
+        initial_vertices: Optional[Sequence[int]] = None,
+    ):
+        self._pinned_seeds = (
+            None
+            if initial_vertices is None
+            else [int(v) for v in initial_vertices]
+        )
         super().__init__(sampler, graph, rng, native)
         self.positions = list(self.initial_vertices)
+        require_walkable_seeds(
+            self._fast, self.positions, "MultipleRW cannot walk from it"
+        )
 
     def _draw_seeds(self, sampler, generator) -> List[int]:
+        if self._pinned_seeds is not None:
+            return self._pinned_seeds
         return vectorized.make_seeds_np(
             self._fast, sampler.num_walkers, sampler.seeding, generator
         )

@@ -62,7 +62,12 @@ from repro.sampling.base import (
     require_walkable_seeds,
 )
 from repro.sampling.distributed import DistributedFrontierSampler
-from repro.sampling.session import SamplerSession, concat_chunks
+from repro.sampling.session import (
+    SamplerSession,
+    concat_chunks,
+    default_session_starter,
+    drain_session_checkpoints,
+)
 from repro.sampling.vectorized import (
     ArrayWalkTrace,
     make_seeds_np,
@@ -209,6 +214,21 @@ def _pool_sample_one(args):
             closer()
 
 
+def _pool_anytime_one(args):
+    """Worker task: one anytime session drained at every checkpoint.
+
+    Returns ``(increments, steps_taken)`` — the per-checkpoint trace
+    increments (what ``take_trace`` handed out after each advance) and
+    the session's final step count.  The advance/drain loop itself is
+    :func:`~repro.sampling.session.drain_session_checkpoints` — the
+    same function the experiment engine's in-process path runs, so
+    the pooled and in-process paths cannot drift apart.
+    """
+    starter, sampler, schedule, checkpoints, root_seed, index = args
+    session = starter(sampler, _WORKER_CSR, root_seed, index)
+    return drain_session_checkpoints(session, schedule, checkpoints)
+
+
 def _run_inline(csr, native, fn, tasks):
     """Run worker tasks in this process with the worker globals pinned.
 
@@ -222,6 +242,21 @@ def _run_inline(csr, native, fn, tasks):
         return [fn(task) for task in tasks]
     finally:
         _WORKER_CSR, _WORKER_NATIVE = saved
+
+
+def _iter_inline(csr, native, fn, tasks):
+    """Lazy :func:`_run_inline`: one task at a time, globals pinned
+    around each call, so a streaming consumer never holds more than
+    one task's result."""
+    global _WORKER_CSR, _WORKER_NATIVE
+    for task in tasks:
+        saved = (_WORKER_CSR, _WORKER_NATIVE)
+        _WORKER_CSR, _WORKER_NATIVE = csr, native
+        try:
+            result = fn(task)
+        finally:
+            _WORKER_CSR, _WORKER_NATIVE = saved
+        yield result
 
 
 def _partition(items: List, shards: int) -> List[List]:
@@ -599,10 +634,8 @@ class ShardedSessionPool(_SpawnPoolMixin):
         self._csr = get_csr(graph)
         self._init_sharing(procs, None)
 
-    def run(
-        self, sampler, budget: float, runs: int, root_seed: int = 0
-    ) -> List:
-        """``runs`` independent ``sample(graph, budget)`` traces."""
+    @staticmethod
+    def _check_run(sampler, runs: int) -> None:
         if isinstance(sampler, DistributedFrontierSampler):
             raise TypeError(
                 "DistributedFrontierSampler runs on the list backend only"
@@ -619,11 +652,79 @@ class ShardedSessionPool(_SpawnPoolMixin):
             )
         if runs < 1:
             raise ValueError(f"runs must be >= 1, got {runs}")
-        tasks = [(sampler, budget, root_seed, index) for index in range(runs)]
+
+    def _map(self, fn, tasks: List) -> List:
         if self.procs <= 1:
-            return _run_inline(
-                self._csr, self._native, _pool_sample_one, tasks
-            )
+            return _run_inline(self._csr, self._native, fn, tasks)
         pool = self._ensure_pool(self._csr)
-        chunk = max(1, runs // (self.procs * 4))
-        return pool.map(_pool_sample_one, tasks, chunksize=chunk)
+        chunk = max(1, len(tasks) // (self.procs * 4))
+        return pool.map(fn, tasks, chunksize=chunk)
+
+    def _imap(self, fn, tasks: List):
+        """Lazy :meth:`_map`: an iterator over results in task order."""
+        if self.procs <= 1:
+            return _iter_inline(self._csr, self._native, fn, tasks)
+        pool = self._ensure_pool(self._csr)
+        chunk = max(1, len(tasks) // (self.procs * 4))
+        return pool.imap(fn, tasks, chunksize=chunk)
+
+    def run(
+        self, sampler, budget: float, runs: int, root_seed: int = 0
+    ) -> List:
+        """``runs`` independent ``sample(graph, budget)`` traces."""
+        self._check_run(sampler, runs)
+        tasks = [(sampler, budget, root_seed, index) for index in range(runs)]
+        return self._map(_pool_sample_one, tasks)
+
+    def run_anytime(
+        self,
+        sampler,
+        checkpoints: Sequence[float],
+        runs: int,
+        root_seed: int = 0,
+        schedule: str = "budget",
+        starter=None,
+        lazy: bool = False,
+    ) -> List[Tuple[List, int]]:
+        """``runs`` independent anytime sessions, drained at every
+        checkpoint.
+
+        Each run opens one session (via ``starter(sampler, graph,
+        root_seed, index)``; default :func:`default_session_starter`),
+        advances it through the ascending ``checkpoints`` —
+        ``advance_budget`` for ``schedule="budget"``, cumulative
+        ``advance`` steps for ``schedule="steps"`` — and returns the
+        per-checkpoint trace increments plus the session's final step
+        count.  This is the fan-out under
+        :func:`repro.experiments.engine.run_plan`: each replicate
+        walks once, whatever the number of checkpoints, and the
+        result is bit-identical for any worker count (inline at
+        ``procs <= 1``, spawn workers otherwise — same task function,
+        same streams).  ``starter`` must be picklable (a module-level
+        function or an instance of a module-level class).
+
+        ``lazy=True`` returns an iterator over the rows (task order)
+        instead of a list, so a streaming consumer — the experiment
+        engine accumulating replicate by replicate — never holds more
+        than one replicate's increments at a time.
+        """
+        self._check_run(sampler, runs)
+        if schedule not in ("budget", "steps"):
+            raise ValueError(
+                f"schedule must be 'budget' or 'steps', got {schedule!r}"
+            )
+        marks = [float(c) for c in checkpoints]
+        if not marks or any(b > a for b, a in zip(marks, marks[1:])):
+            raise ValueError(
+                "checkpoints must be a non-empty ascending sequence,"
+                f" got {checkpoints!r}"
+            )
+        if starter is None:
+            starter = default_session_starter
+        tasks = [
+            (starter, sampler, schedule, marks, root_seed, index)
+            for index in range(runs)
+        ]
+        if lazy:
+            return self._imap(_pool_anytime_one, tasks)
+        return self._map(_pool_anytime_one, tasks)

@@ -17,6 +17,7 @@ from repro.sampling.base import (
     Sampler,
     SeedingMode,
     check_backend,
+    check_pinned_seeds,
     check_seeding,
     resolve_backend,
 )
@@ -59,16 +60,32 @@ class SingleRandomWalk(Sampler):
         self.seed_cost = seed_cost
         self.backend = check_backend(backend)
 
-    def start(self, graph: Graph, rng: RngLike = None):
-        """Seed one walker and return its incremental session."""
+    def start(
+        self,
+        graph: Graph,
+        rng: RngLike = None,
+        initial_vertices: Optional[List[int]] = None,
+    ):
+        """Seed one walker and return its incremental session.
+
+        ``initial_vertices`` (a single-element list) pins the walker's
+        start instead of drawing a seed — no seed uniforms are
+        consumed, matching a walk launched from a known vertex.
+        """
         from repro.sampling.session import (
             ArraySingleSession,
             SingleWalkSession,
         )
 
+        if initial_vertices is not None:
+            check_pinned_seeds(initial_vertices, 1)
         if resolve_backend(self.backend, graph) == "csr":
-            return ArraySingleSession(self, graph, rng)
-        return SingleWalkSession(self, graph, rng)
+            return ArraySingleSession(
+                self, graph, rng, initial_vertices=initial_vertices
+            )
+        return SingleWalkSession(
+            self, graph, rng, initial_vertices=initial_vertices
+        )
 
     def __repr__(self) -> str:
         return (

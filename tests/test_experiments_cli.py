@@ -46,6 +46,32 @@ class TestCli:
         assert main(["fig1", "--scale", "0.05", "--runs", "3"]) == 0
         assert "Figure 1" in capsys.readouterr().out
 
+    def test_run_with_procs(self, capsys):
+        """--procs fans replicates across spawn workers; the figure
+        must render exactly as with inline pooling (procs=1)."""
+        assert main(
+            ["fig10", "--scale", "0.05", "--runs", "2", "--procs", "1"]
+        ) == 0
+        inline = capsys.readouterr().out
+        assert main(
+            ["fig10", "--scale", "0.05", "--runs", "2", "--procs", "2"]
+        ) == 0
+        pooled = capsys.readouterr().out
+        strip_timing = lambda text: [  # noqa: E731
+            line for line in text.splitlines() if "finished in" not in line
+        ]
+        assert strip_timing(inline) == strip_timing(pooled)
+
+    def test_procs_accepted_for_descriptive_drivers(self, capsys):
+        """Descriptive artifacts have nothing to replicate; --procs is
+        accepted and ignored rather than erroring."""
+        assert main(["fig3", "--scale", "0.05", "--procs", "2"]) == 0
+        assert "Figure 3" in capsys.readouterr().out
+
+    def test_bad_procs_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig10", "--scale", "0.05", "--procs", "0"])
+
 
 class TestSampleSubcommand:
     def test_sample_runs_and_reports(self, capsys):
