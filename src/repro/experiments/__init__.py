@@ -13,6 +13,9 @@ All drivers execute through the replication engine
 replicate, streaming accumulation at every budget checkpoint, and
 optional multi-process fan-out via each driver's ``procs`` parameter
 (bit-identical results for every ``procs`` value at a fixed seed).
+Whole workload suites are declared as YAML and compiled onto the same
+engine by :mod:`repro.experiments.suite`, with the report pipeline in
+:mod:`repro.experiments.report` (``repro suite run`` on the CLI).
 
 The drivers accept ``scale`` (dataset size multiplier) and ``runs``
 (replications) so the full evaluation stays laptop-sized; EXPERIMENTS.md
@@ -38,6 +41,14 @@ from repro.experiments.runner import (
     replicate_traces,
 )
 from repro.experiments.samplepaths import SamplePathResult, sample_paths
+from repro.experiments.suite import (
+    Scenario,
+    SuiteResult,
+    SuiteSpec,
+    SuiteSpecError,
+    load_suite,
+    run_suite,
+)
 
 __all__ = [
     "BudgetSweepResult",
@@ -45,13 +56,19 @@ __all__ = [
     "ExperimentPlan",
     "PlanResult",
     "SamplePathResult",
+    "Scenario",
+    "SuiteResult",
+    "SuiteSpec",
+    "SuiteSpecError",
     "TraceCollector",
     "default_budget_schedule",
     "degree_error_budget_sweep",
     "degree_error_experiment",
+    "load_suite",
     "replicate",
     "replicate_incremental",
     "replicate_traces",
     "run_plan",
+    "run_suite",
     "sample_paths",
 ]

@@ -15,6 +15,16 @@ estimates, and can checkpoint/resume it across invocations:
         --budget 5000 --backend csr --checkpoint run.ckpt
     repro-experiments sample --ba 20000 3 --budget 20000 \\
         --resume run.ckpt --checkpoint run.ckpt
+
+The ``suite`` subcommand compiles a YAML scenario suite
+(:mod:`repro.experiments.suite`) to experiment plans, runs the grid,
+and writes ``report.json`` / ``report.md`` / ``report.csv``:
+
+    repro suite run suites/smoke.yaml --procs 2 --out /tmp/smoke
+    repro suite run suites/smoke.yaml --procs 2 --out /tmp/smoke --resume
+    repro suite validate suites/paper.yaml
+
+(``repro`` and ``repro-experiments`` are the same entry point.)
 """
 
 from __future__ import annotations
@@ -304,21 +314,111 @@ def _sample_main(argv) -> int:
     return 0
 
 
-#: The subcommand is dispatched before the experiment parser; keep the
-#: name out of the experiment registry or it would be unreachable.
-assert "sample" not in _EXPERIMENTS
+def _suite_main(argv) -> int:
+    """``repro suite``: run or validate a YAML scenario suite."""
+    from repro.experiments.report import write_report
+    from repro.experiments.suite import (
+        SuiteSpecError,
+        load_suite,
+        run_suite,
+    )
+
+    parser = argparse.ArgumentParser(
+        prog="repro suite",
+        description="Compile a YAML scenario suite to experiment plans"
+        " and run the whole grid (or just validate the spec).",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+    run_parser = commands.add_parser(
+        "run", help="execute every scenario and write the suite report"
+    )
+    run_parser.add_argument("spec", help="suite spec YAML file")
+    run_parser.add_argument(
+        "--procs",
+        type=int,
+        default=1,
+        help="worker processes per scenario (engine fan-out; results"
+        " are bit-identical for every value >= 1; default 1)",
+    )
+    run_parser.add_argument(
+        "--out",
+        required=True,
+        help="output directory for report.json/report.md/report.csv"
+        " and the per-scenario checkpoints",
+    )
+    run_parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip scenarios whose checkpoint under <out>/scenarios/"
+        " matches the current spec (stale checkpoints re-run)",
+    )
+    validate_parser = commands.add_parser(
+        "validate", help="parse + validate the spec and list scenarios"
+    )
+    validate_parser.add_argument("spec", help="suite spec YAML file")
+    args = parser.parse_args(argv)
+
+    try:
+        spec = load_suite(args.spec)
+    except SuiteSpecError as error:
+        print(f"invalid suite spec: {error}", file=sys.stderr)
+        return 2
+
+    if args.command == "validate":
+        print(f"suite {spec.name!r}: {len(spec.scenarios)} scenarios ok")
+        for scenario in spec.scenarios:
+            print(
+                f"  {scenario.id}: {scenario.family} n={scenario.size}"
+                f" methods={','.join(sorted(scenario.samplers))}"
+                f" budgets={[int(b) for b in scenario.budgets]}"
+                f" replicates={scenario.replicates} seed={scenario.seed}"
+            )
+        return 0
+
+    if args.procs < 1:
+        parser.error("--procs must be >= 1")
+    started = time.time()
+    print(
+        f"suite {spec.name!r}: {len(spec.scenarios)} scenarios,"
+        f" procs={args.procs}"
+    )
+    result = run_suite(
+        spec,
+        procs=args.procs,
+        out_dir=args.out,
+        resume=args.resume,
+        log=print,
+    )
+    paths = write_report(result, args.out)
+    resumed = result.resumed_ids()
+    if resumed:
+        print(f"  resumed {len(resumed)} scenario(s): {', '.join(resumed)}")
+    print(
+        f"suite {spec.name!r} done in {time.time() - started:.1f}s:"
+        f" {paths['json']}  {paths['md']}  {paths['csv']}"
+    )
+    return 0
+
+
+#: Subcommands are dispatched before the experiment parser; keep their
+#: names out of the experiment registry or they would be unreachable.
+assert "sample" not in _EXPERIMENTS and "suite" not in _EXPERIMENTS
 
 
 def main(argv=None) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     if argv and argv[0] == "sample":
         return _sample_main(argv[1:])
+    if argv and argv[0] == "suite":
+        return _suite_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description="Regenerate the paper's tables and figures on"
         " synthetic stand-in datasets.",
         epilog="The 'sample' subcommand runs one checkpointable"
-        " sampling session instead: repro-experiments sample --help",
+        " sampling session instead (repro-experiments sample --help);"
+        " the 'suite' subcommand runs a YAML-declared scenario suite"
+        " (repro-experiments suite --help)",
     )
     parser.add_argument(
         "experiment",
@@ -365,6 +465,7 @@ def main(argv=None) -> int:
         for name in _EXPERIMENTS:
             print(name)
         print("sample  (subcommand: repro-experiments sample --help)")
+        print("suite   (subcommand: repro-experiments suite --help)")
         return 0
     if not args.experiment:
         parser.error("provide an experiment id or --list")

@@ -1,0 +1,217 @@
+"""Suite report pipeline: ``report.json`` / ``report.md`` / ``report.csv``.
+
+:func:`build_report` turns a :class:`~repro.experiments.suite.SuiteResult`
+into one machine-readable document; :func:`write_report` serializes it
+three ways:
+
+- ``report.json`` — the full per-scenario x method x budget x
+  estimator error statistics, canonically ordered (``sort_keys``) and
+  free of timestamps or host facts, so a fixed-seed run is
+  *bit-identical* across machines and ``--procs`` values.  This is
+  the artifact ``tools/check_suite_drift.py`` diffs against the
+  committed baseline.
+- ``report.md`` — ranked method-vs-scenario NRMSE tables in the style
+  of the paper's Tables 2-4: one table per estimator at the final
+  budget, methods ordered by mean error across scenarios, the winner
+  of each scenario cell marked.
+- ``report.csv`` — one flat row per statistic for spreadsheets and
+  ad-hoc plotting.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List
+
+from repro.experiments.suite import SuiteResult, _budget_key
+
+__all__ = [
+    "build_report",
+    "flatten_report",
+    "render_csv",
+    "render_markdown",
+    "write_report",
+]
+
+#: Bump when the report layout changes incompatibly; the drift checker
+#: refuses to compare across schema versions.
+REPORT_SCHEMA = 1
+
+
+def build_report(result: SuiteResult) -> Dict[str, Any]:
+    """The suite's machine-readable report document."""
+    return {
+        "schema": REPORT_SCHEMA,
+        "suite": result.spec.name,
+        "description": result.spec.description,
+        "seed": result.spec.seed,
+        "scenarios": {
+            outcome.scenario.id: outcome.result
+            for outcome in result.outcomes
+        },
+    }
+
+
+def flatten_report(report: Dict[str, Any]) -> Dict[str, float]:
+    """``{scenario/method/B<budget>/<estimator>.<stat>: value}`` over
+    every statistic in the report — the comparison domain of the drift
+    gate.  Signed statistics (bias) are flattened as magnitudes, so a
+    sign flip of equal size is no "improvement"."""
+    flat: Dict[str, float] = {}
+    for scenario_id, scenario in sorted(report["scenarios"].items()):
+        for method, per_budget in sorted(scenario["methods"].items()):
+            for budget_key, per_estimator in sorted(per_budget.items()):
+                for name, stats in sorted(per_estimator.items()):
+                    for stat, value in sorted(stats.items()):
+                        key = (
+                            f"{scenario_id}/{method}/B{budget_key}"
+                            f"/{name}.{stat}"
+                        )
+                        flat[key] = abs(float(value))
+    return flat
+
+
+def _final_budget_key(scenario: Dict[str, Any]) -> str:
+    return _budget_key(scenario["budgets"][-1])
+
+
+def _estimator_names(report: Dict[str, Any]) -> List[str]:
+    names: List[str] = []
+    for scenario in report["scenarios"].values():
+        for name in scenario["estimators"]:
+            if name not in names:
+                names.append(name)
+    return names
+
+
+def _methods_for(report: Dict[str, Any]) -> List[str]:
+    methods: List[str] = []
+    for scenario in report["scenarios"].values():
+        for method in scenario["methods"]:
+            if method not in methods:
+                methods.append(method)
+    return sorted(methods)
+
+
+def render_markdown(report: Dict[str, Any]) -> str:
+    """Ranked method-vs-scenario tables, one per estimator."""
+    lines = [f"# Suite report: {report['suite']}", ""]
+    if report.get("description"):
+        lines += [report["description"], ""]
+    scenarios = report["scenarios"]
+    lines += [
+        f"- root seed: {report['seed']}",
+        f"- scenarios: {len(scenarios)}",
+        "",
+        "## Scenarios",
+        "",
+        "| scenario | family | n | m | avg deg | replicates |"
+        " budgets | methods |",
+        "|---|---|---:|---:|---:|---:|---|---|",
+    ]
+    for scenario_id, scenario in sorted(scenarios.items()):
+        graph = scenario["graph"]
+        budgets = ", ".join(_budget_key(b) for b in scenario["budgets"])
+        methods = ", ".join(sorted(scenario["methods"]))
+        lines.append(
+            f"| {scenario_id} | {graph['family']}"
+            f" | {graph['num_vertices']} | {graph['num_edges']}"
+            f" | {graph['average_degree']:.2f}"
+            f" | {scenario['replicates']} | {budgets} | {methods} |"
+        )
+    lines.append("")
+
+    for name in _estimator_names(report):
+        methods = _methods_for(report)
+        # Mean NRMSE per method across the scenarios that scored it at
+        # their final budget: the ranking column of the paper's tables.
+        per_method: Dict[str, List[float]] = {m: [] for m in methods}
+        cells: Dict[str, Dict[str, float]] = {}
+        for scenario_id, scenario in sorted(scenarios.items()):
+            if name not in scenario["estimators"]:
+                continue
+            budget_key = _final_budget_key(scenario)
+            row: Dict[str, float] = {}
+            for method, per_budget in scenario["methods"].items():
+                value = per_budget[budget_key][name]["nrmse"]
+                row[method] = value
+                per_method[method].append(value)
+            cells[scenario_id] = row
+        if not cells:
+            continue
+        ranked = sorted(
+            (m for m in methods if per_method[m]),
+            key=lambda m: sum(per_method[m]) / len(per_method[m]),
+        )
+        lines += [
+            f"## {name} — NRMSE at final budget (methods ranked by"
+            " mean across scenarios; per-scenario winner in bold)",
+            "",
+            "| scenario | " + " | ".join(ranked) + " |",
+            "|---|" + "---:|" * len(ranked),
+        ]
+        for scenario_id, row in sorted(cells.items()):
+            best = min(row, key=row.get)
+            formatted = [
+                (
+                    f"**{row[m]:.4f}**"
+                    if m == best
+                    else f"{row[m]:.4f}"
+                )
+                if m in row
+                else "-"
+                for m in ranked
+            ]
+            lines.append(
+                f"| {scenario_id} | " + " | ".join(formatted) + " |"
+            )
+        means = [
+            f"{sum(per_method[m]) / len(per_method[m]):.4f}"
+            for m in ranked
+        ]
+        lines.append("| **mean** | " + " | ".join(means) + " |")
+        lines.append("")
+    return "\n".join(lines) + "\n"
+
+
+def render_csv(report: Dict[str, Any]) -> str:
+    """One row per statistic: the full grid, spreadsheet-ready."""
+    lines = [
+        "suite,scenario,family,size,method,budget,estimator,stat,value"
+    ]
+    suite = report["suite"]
+    for scenario_id, scenario in sorted(report["scenarios"].items()):
+        graph = scenario["graph"]
+        for method, per_budget in sorted(scenario["methods"].items()):
+            for budget_key, per_estimator in sorted(per_budget.items()):
+                for name, stats in sorted(per_estimator.items()):
+                    for stat, value in sorted(stats.items()):
+                        lines.append(
+                            f"{suite},{scenario_id},{graph['family']},"
+                            f"{graph['size']},{method},{budget_key},"
+                            f"{name},{stat},{value!r}"
+                        )
+    return "\n".join(lines) + "\n"
+
+
+def write_report(result: SuiteResult, out_dir) -> Dict[str, Path]:
+    """Serialize the suite's report artifacts into ``out_dir``.
+
+    Returns ``{"json": ..., "md": ..., "csv": ...}`` paths.
+    """
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    report = build_report(result)
+    paths = {
+        "json": out / "report.json",
+        "md": out / "report.md",
+        "csv": out / "report.csv",
+    }
+    paths["json"].write_text(
+        json.dumps(report, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    paths["md"].write_text(render_markdown(report), encoding="utf-8")
+    paths["csv"].write_text(render_csv(report), encoding="utf-8")
+    return paths

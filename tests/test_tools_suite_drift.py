@@ -1,0 +1,180 @@
+"""The suite drift gate must fail loudly — naming the offending cell
+with its baseline, current and ratio — and never with a traceback."""
+
+from __future__ import annotations
+
+import copy
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+TOOL = REPO_ROOT / "tools" / "check_suite_drift.py"
+
+
+def run_tool(*args):
+    return subprocess.run(
+        [sys.executable, str(TOOL), *args],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+    )
+
+
+def report_document(nrmse: float = 0.12) -> dict:
+    return {
+        "schema": 1,
+        "suite": "unit",
+        "description": "",
+        "seed": 7,
+        "scenarios": {
+            "ba-n60": {
+                "id": "ba-n60",
+                "graph": {
+                    "family": "ba",
+                    "size": 60,
+                    "kwargs": {},
+                    "seed": 42,
+                    "num_vertices": 60,
+                    "num_edges": 116,
+                    "average_degree": 3.87,
+                },
+                "seed": 123,
+                "replicates": 2,
+                "budgets": [50.0, 100.0],
+                "estimators": ["average_degree"],
+                "methods": {
+                    "fs": {
+                        "50": {
+                            "average_degree": {
+                                "nrmse": nrmse * 2,
+                                "bias": -0.01,
+                            }
+                        },
+                        "100": {
+                            "average_degree": {
+                                "nrmse": nrmse,
+                                "bias": 0.005,
+                            }
+                        },
+                    }
+                },
+            }
+        },
+    }
+
+
+def write(path: Path, document: dict) -> Path:
+    path.write_text(json.dumps(document), encoding="utf-8")
+    return path
+
+
+class TestReadableErrors:
+    def test_missing_current_report(self, tmp_path):
+        result = run_tool("--current", str(tmp_path / "report.json"))
+        assert result.returncode == 1
+        assert "not found" in result.stderr
+        assert "repro suite run" in result.stderr  # tells you the fix
+        assert "Traceback" not in result.stderr + result.stdout
+
+    def test_corrupt_current_report(self, tmp_path):
+        bad = tmp_path / "report.json"
+        bad.write_text("{not json", encoding="utf-8")
+        result = run_tool("--current", str(bad))
+        assert result.returncode == 1
+        assert "unreadable" in result.stderr
+        assert "Traceback" not in result.stderr
+
+    def test_missing_baseline_points_at_update(self, tmp_path):
+        current = write(tmp_path / "report.json", report_document())
+        result = run_tool(
+            "--current",
+            str(current),
+            "--baseline",
+            str(tmp_path / "missing.json"),
+        )
+        assert result.returncode == 1
+        assert "baseline" in result.stderr
+        assert "--update" in result.stderr
+
+    def test_suite_mismatch_is_an_error(self, tmp_path):
+        current = write(tmp_path / "report.json", report_document())
+        other = report_document()
+        other["suite"] = "other"
+        baseline = write(tmp_path / "baseline.json", other)
+        result = run_tool(
+            "--current", str(current), "--baseline", str(baseline)
+        )
+        assert result.returncode == 1
+        assert "suite mismatch" in result.stderr
+
+
+class TestDriftGate:
+    def test_update_then_pass_then_injected_regression(self, tmp_path):
+        current = write(tmp_path / "report.json", report_document())
+        baseline = tmp_path / "baseline.json"
+        updated = run_tool(
+            "--current", str(current), "--baseline", str(baseline), "--update"
+        )
+        assert updated.returncode == 0, updated.stderr
+        assert baseline.exists()
+
+        ok = run_tool("--current", str(current), "--baseline", str(baseline))
+        assert ok.returncode == 0, ok.stderr
+        assert "OK" in ok.stdout
+
+        # Inject a 10x error regression on one cell: the gate must
+        # fail and name the cell with baseline, current and ratio.
+        regressed = report_document()
+        cell = regressed["scenarios"]["ba-n60"]["methods"]["fs"]["100"]
+        cell["average_degree"]["nrmse"] *= 10
+        bad = write(tmp_path / "bad.json", regressed)
+        failed = run_tool(
+            "--current", str(bad), "--baseline", str(baseline)
+        )
+        assert failed.returncode == 1
+        assert "REGRESSED" in failed.stdout
+        key = "ba-n60/fs/B100/average_degree.nrmse"
+        assert key in failed.stderr  # offending key...
+        assert "0.1200" in failed.stderr  # ...baseline...
+        assert "1.2000" in failed.stderr  # ...current...
+        assert "10.00x" in failed.stderr  # ...and ratio
+
+    def test_improvement_and_new_cells_pass(self, tmp_path):
+        baseline = write(tmp_path / "baseline.json", report_document())
+        improved = report_document(nrmse=0.06)
+        improved["scenarios"]["ba-n60"]["methods"]["srw"] = copy.deepcopy(
+            improved["scenarios"]["ba-n60"]["methods"]["fs"]
+        )
+        current = write(tmp_path / "report.json", improved)
+        result = run_tool(
+            "--current", str(current), "--baseline", str(baseline)
+        )
+        assert result.returncode == 0, result.stderr
+        assert "new" in result.stdout  # srw cells reported, not failed
+
+    def test_tolerance_is_configurable(self, tmp_path):
+        baseline = write(tmp_path / "baseline.json", report_document())
+        slightly = write(
+            tmp_path / "report.json", report_document(nrmse=0.13)
+        )
+        strict = run_tool(
+            "--current",
+            str(slightly),
+            "--baseline",
+            str(baseline),
+            "--rel-tol",
+            "0.01",
+        )
+        assert strict.returncode == 1
+        loose = run_tool(
+            "--current", str(slightly), "--baseline", str(baseline)
+        )
+        assert loose.returncode == 0
+
+    def test_committed_smoke_baseline_is_self_consistent(self):
+        """The committed baseline must pass the gate against itself."""
+        committed = REPO_ROOT / "suites" / "baselines" / "smoke.json"
+        result = run_tool("--current", str(committed))
+        assert result.returncode == 0, result.stderr + result.stdout

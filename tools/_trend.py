@@ -1,0 +1,100 @@
+"""Shared tolerance/compare core for the CI trend gates.
+
+``check_bench_trend.py`` (kernel timings) and ``check_suite_drift.py``
+(suite error statistics) gate different numbers with the same
+mechanics: flatten both sides to ``{key: value}``, compare key by key
+against a ratio threshold (plus an optional absolute slack for
+near-zero metrics), print one table row per key, and on failure name
+every offending key with its baseline, current and ratio.  This module
+is that mechanics, so the two gates cannot drift apart in how they
+report drift.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Mapping, Optional, Tuple
+
+
+@dataclass
+class Comparison:
+    """One key's baseline-vs-current verdict."""
+
+    key: str
+    baseline: Optional[float]  # None: key is new in the current run
+    current: Optional[float]  # None: key was retired
+    regressed: bool = False
+
+    @property
+    def ratio(self) -> Optional[float]:
+        if self.baseline is None or self.current is None:
+            return None
+        if self.baseline == 0:
+            return None if self.current == 0 else float("inf")
+        return self.current / self.baseline
+
+
+def compare_metrics(
+    baseline: Mapping[str, float],
+    current: Mapping[str, float],
+    threshold: float,
+    abs_slack: float = 0.0,
+) -> Tuple[List[Comparison], List[Comparison]]:
+    """Compare two flat metric maps; larger is worse.
+
+    A key regresses when ``current > baseline * threshold + abs_slack``
+    — the slack keeps near-zero baselines (a metric that was exactly
+    right) from tripping the ratio on float noise.  Keys present on
+    only one side are reported but never regress, so adding or
+    retiring metrics does not break the gate.  Returns
+    ``(all rows, regressed rows)`` in sorted key order.
+    """
+    rows: List[Comparison] = []
+    failures: List[Comparison] = []
+    for key in sorted(set(baseline) | set(current)):
+        row = Comparison(
+            key=key, baseline=baseline.get(key), current=current.get(key)
+        )
+        if row.baseline is not None and row.current is not None:
+            row.regressed = row.current > row.baseline * threshold + abs_slack
+        rows.append(row)
+        if row.regressed:
+            failures.append(row)
+    return rows, failures
+
+
+def print_comparison(
+    rows: List[Comparison],
+    label: str = "metric",
+    key_width: Optional[int] = None,
+) -> None:
+    """The gates' shared table: key, baseline, current, ratio, verdict."""
+    width = key_width or max([len(label)] + [len(r.key) for r in rows])
+    print(f"{label:<{width}} {'baseline':>10} {'current':>10} {'ratio':>7}")
+    for row in rows:
+        if row.baseline is None:
+            print(f"{row.key:<{width}} {'-':>10} {row.current:>10.4f}     new")
+            continue
+        if row.current is None:
+            print(f"{row.key:<{width}} {row.baseline:>10.4f} {'-':>10} retired")
+            continue
+        ratio = row.ratio
+        shown = f"{ratio:>6.2f}x" if ratio != float("inf") else "    inf"
+        verdict = "REGRESSED" if row.regressed else "ok"
+        print(
+            f"{row.key:<{width}} {row.baseline:>10.4f} {row.current:>10.4f}"
+            f" {shown} {verdict}"
+        )
+
+
+def format_failures(failures: List[Comparison]) -> List[str]:
+    """One line per offending key: key, baseline, current, ratio."""
+    lines = []
+    for row in failures:
+        ratio = row.ratio
+        shown = f"{ratio:.2f}x" if ratio != float("inf") else "inf"
+        lines.append(
+            f"  {row.key}: baseline {row.baseline:.4f} ->"
+            f" current {row.current:.4f} ({shown})"
+        )
+    return lines

@@ -37,6 +37,8 @@ import json
 import sys
 from pathlib import Path
 
+from _trend import compare_metrics, format_failures, print_comparison
+
 REPO_ROOT = Path(__file__).resolve().parent.parent
 DEFAULT_BASELINE = REPO_ROOT / "benchmarks" / "BENCH_baseline.json"
 #: Substring selecting the walker-kernel benchmarks that gate the build.
@@ -186,33 +188,20 @@ def main(argv=None) -> int:
         )
         return 1
 
-    failures = []
     print(f"normalized by {args.reference} = {timings[args.reference]:.4f}s")
-    print(f"{'benchmark':<40} {'baseline':>10} {'current':>10} {'ratio':>7}")
-    for name in sorted(set(current) | set(baseline)):
-        if name not in baseline:
-            print(f"{name:<40} {'-':>10} {current[name]:>10.4f}     new")
-            continue
-        if name not in current:
-            print(f"{name:<40} {baseline[name]:>10.4f} {'-':>10} retired")
-            continue
-        ratio = current[name] / baseline[name]
-        verdict = "ok" if ratio <= args.threshold else "REGRESSED"
-        print(
-            f"{name:<40} {baseline[name]:>10.4f} {current[name]:>10.4f}"
-            f" {ratio:>6.2f}x {verdict}"
-        )
-        if ratio > args.threshold:
-            failures.append((name, ratio))
+    rows, failures = compare_metrics(baseline, current, args.threshold)
+    print_comparison(rows, label="benchmark", key_width=40)
 
     if failures:
-        worst = max(failures, key=lambda pair: pair[1])
+        worst = max(failures, key=lambda row: row.ratio)
         print(
             f"\nFAIL: {len(failures)} walker-kernel benchmark(s) slowed"
             f" beyond {args.threshold}x relative to {args.reference}"
-            f" (worst: {worst[0]} at {worst[1]:.2f}x)",
+            f" (worst: {worst.key} at {worst.ratio:.2f}x)",
             file=sys.stderr,
         )
+        for line in format_failures(failures):
+            print(line, file=sys.stderr)
         return 1
     print(f"\nOK: all gated benchmarks within {args.threshold}x of baseline")
     return 0

@@ -4,7 +4,8 @@
 Usage:  python tools/check_markdown_links.py [FILE ...]
 
 With no arguments, checks every tracked-looking markdown file: the
-repo root's ``*.md`` plus ``docs/**/*.md``.  External links
+repo root's ``*.md`` plus ``docs/**/*.md`` and ``suites/**/*.md``.
+External links
 (``http(s)://``, ``mailto:``) and pure in-page anchors (``#...``) are
 skipped; a relative target is resolved against the linking file's
 directory and must exist (anchors are stripped first).  Exits non-zero
@@ -46,7 +47,11 @@ def main(argv: list[str]) -> int:
         files = [Path(argument) for argument in argv]
     else:
         root = Path(__file__).resolve().parent.parent
-        files = sorted(root.glob("*.md")) + sorted(root.glob("docs/**/*.md"))
+        files = (
+            sorted(root.glob("*.md"))
+            + sorted(root.glob("docs/**/*.md"))
+            + sorted(root.glob("suites/**/*.md"))
+        )
     missing = [path for path in files if not path.is_file()]
     if missing:
         for path in missing:

@@ -1,0 +1,216 @@
+#!/usr/bin/env python3
+"""Whole-suite accuracy-drift gate against a committed baseline report.
+
+``repro suite run`` writes a deterministic ``report.json`` — per
+scenario x method x budget x estimator error statistics.  This tool
+diffs a fresh report against the baseline committed at
+``suites/baselines/<suite>.json`` and fails (exit 1) when any
+statistic *regressed* (grew) beyond the tolerance:
+
+    current > baseline * (1 + rel-tol) + abs-tol
+
+It is the statistical analogue of ``check_bench_trend.py``: that gate
+catches kernels getting slower, this one catches estimators getting
+*worse* — a sampler change that silently inflates NRMSE on any cell of
+the smoke grid fails the build naming the exact cell.  Improvements
+and added/retired cells are reported but never fail, so growing the
+suite does not break CI.
+
+Usage:
+
+    python tools/check_suite_drift.py --current report.json \\
+        [--baseline suites/baselines/<suite>.json] \\
+        [--rel-tol 0.25] [--abs-tol 1e-9] [--update]
+
+With no ``--baseline``, the path is derived from the report's own
+``suite`` name.  ``--update`` copies the current report over the
+baseline (run it after an intentional statistics change — a new
+estimator, a changed schedule — and commit the result; see
+``suites/baselines/README.md``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import sys
+from pathlib import Path
+
+from _trend import compare_metrics, format_failures, print_comparison
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BASELINE_DIR = REPO_ROOT / "suites" / "baselines"
+#: The report schema this gate understands (mirrors
+#: ``repro.experiments.report.REPORT_SCHEMA``).
+SCHEMA = 1
+
+
+def load_report(path: Path, role: str) -> dict:
+    """Read and sanity-check one report side; SystemExit on problems."""
+    if not path.exists():
+        raise SystemExit(
+            f"{role} report {path} not found; generate it with:"
+            " repro suite run suites/<suite>.yaml --out <dir>"
+            + (
+                " (then --update to commit it as the baseline)"
+                if role == "baseline"
+                else ""
+            )
+        )
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            report = json.load(handle)
+        if not isinstance(report, dict) or "scenarios" not in report:
+            raise ValueError("not a suite report (no 'scenarios' key)")
+        if report.get("schema") != SCHEMA:
+            raise ValueError(
+                f"schema {report.get('schema')!r} != supported {SCHEMA}"
+            )
+    except (json.JSONDecodeError, ValueError) as error:
+        raise SystemExit(
+            f"{role} report {path} is unreadable ({error}); regenerate"
+            " it with: repro suite run suites/<suite>.yaml --out <dir>"
+        )
+    return report
+
+
+def flatten(report: dict) -> dict:
+    """Delegate to the report pipeline's flattener when importable,
+    else use a structural fallback (CI runs this tool without the
+    package installed in some legs)."""
+    try:
+        sys.path.insert(0, str(REPO_ROOT / "src"))
+        from repro.experiments.report import flatten_report
+
+        return flatten_report(report)
+    except ImportError:
+        flat = {}
+        for scenario_id, scenario in sorted(report["scenarios"].items()):
+            for method, per_budget in sorted(scenario["methods"].items()):
+                for budget_key, ests in sorted(per_budget.items()):
+                    for name, stats in sorted(ests.items()):
+                        for stat, value in sorted(stats.items()):
+                            key = (
+                                f"{scenario_id}/{method}/B{budget_key}"
+                                f"/{name}.{stat}"
+                            )
+                            flat[key] = abs(float(value))
+        return flat
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--current",
+        type=Path,
+        default=Path("report.json"),
+        help="fresh report.json from 'repro suite run'",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help="committed baseline report (default:"
+        " suites/baselines/<suite>.json from the report's suite name)",
+    )
+    parser.add_argument(
+        "--rel-tol",
+        type=float,
+        default=0.25,
+        help="allowed relative error growth per statistic (default"
+        " 0.25 = +25%%)",
+    )
+    parser.add_argument(
+        "--abs-tol",
+        type=float,
+        default=1e-9,
+        help="absolute slack added on top of the relative tolerance,"
+        " so exact-zero baselines tolerate float noise (default 1e-9)",
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="copy the current report over the baseline and exit",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        current_report = load_report(args.current, "current")
+    except SystemExit as error:
+        print(error, file=sys.stderr)
+        return 1
+    baseline_path = args.baseline
+    if baseline_path is None:
+        baseline_path = BASELINE_DIR / f"{current_report['suite']}.json"
+
+    if args.update:
+        baseline_path.parent.mkdir(parents=True, exist_ok=True)
+        shutil.copyfile(args.current, baseline_path)
+        print(
+            f"baseline updated: {baseline_path}"
+            f" ({len(flatten(current_report))} statistics)"
+        )
+        return 0
+
+    try:
+        baseline_report = load_report(baseline_path, "baseline")
+    except SystemExit as error:
+        print(error, file=sys.stderr)
+        return 1
+
+    if baseline_report["suite"] != current_report["suite"]:
+        print(
+            f"suite mismatch: baseline is {baseline_report['suite']!r},"
+            f" current is {current_report['suite']!r}; point --baseline"
+            " at the right committed report",
+            file=sys.stderr,
+        )
+        return 1
+
+    baseline = flatten(baseline_report)
+    current = flatten(current_report)
+    if not current:
+        print(
+            f"current report {args.current} contains no statistics;"
+            " nothing to gate",
+            file=sys.stderr,
+        )
+        return 1
+
+    threshold = 1.0 + args.rel_tol
+    rows, failures = compare_metrics(
+        baseline, current, threshold, abs_slack=args.abs_tol
+    )
+    print(
+        f"suite {current_report['suite']!r}: {len(current)} statistics"
+        f" vs baseline {baseline_path}"
+        f" (rel-tol +{args.rel_tol:.0%}, abs-tol {args.abs_tol:g})"
+    )
+    print_comparison(rows, label="statistic")
+
+    if failures:
+        worst = max(failures, key=lambda row: row.ratio)
+        print(
+            f"\nFAIL: {len(failures)} suite statistic(s) regressed"
+            f" beyond +{args.rel_tol:.0%} of baseline"
+            f" (worst: {worst.key} at {worst.ratio:.2f}x)",
+            file=sys.stderr,
+        )
+        for line in format_failures(failures):
+            print(line, file=sys.stderr)
+        print(
+            "\nIf the change is intentional, regenerate the baseline:"
+            " see suites/baselines/README.md",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"\nOK: all suite statistics within +{args.rel_tol:.0%}"
+        " of baseline"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
