@@ -66,6 +66,7 @@ def dimension_sweep(
     root_seed: int = 901,
     backend: Optional[Backend] = None,
     procs: Optional[int] = None,
+    executor: Optional[str] = None,
 ) -> SweepResult:
     """FS error on GAB as the frontier dimension grows.
 
@@ -89,6 +90,7 @@ def dimension_sweep(
         title="dimension sweep",
         backend=backend,
         procs=procs,
+        executor=executor,
     )
     sweep = SweepResult(
         title=f"FS dimension sweep on GAB (B={budget:.0f}, {runs} runs)"
@@ -105,6 +107,7 @@ def walker_selection_ablation(
     root_seed: int = 902,
     backend: Optional[Backend] = None,
     procs: Optional[int] = None,
+    executor: Optional[str] = None,
 ) -> SweepResult:
     """Degree-proportional vs uniform walker selection in FS.
 
@@ -131,6 +134,7 @@ def walker_selection_ablation(
         title="walker selection",
         backend=backend,
         procs=procs,
+        executor=executor,
     )
     sweep = SweepResult(
         title=f"Algorithm 1 line 4 ablation on GAB (m={dimension})"
@@ -146,6 +150,7 @@ def metropolis_vs_rw(
     root_seed: int = 903,
     backend: Optional[Backend] = None,
     procs: Optional[int] = None,
+    executor: Optional[str] = None,
 ) -> SweepResult:
     """Degree-pmf NMSE: reweighted RW estimator vs Metropolis walk.
 
@@ -186,7 +191,7 @@ def metropolis_vs_rw(
         method_seed={rw_name: root_seed, mh_name: root_seed + 1},
         backend=backend,
     )
-    outcome = run_plan(plan, runs, procs=procs)
+    outcome = run_plan(plan, runs, procs=procs, executor=executor)
     sweep = SweepResult(
         title="RW (eq. 7) vs Metropolis-Hastings walk"
         f" (flickr-like LCC, B={budget:.0f})"
@@ -207,6 +212,7 @@ def burn_in_ablation(
     root_seed: int = 905,
     backend: Optional[Backend] = None,
     procs: Optional[int] = None,
+    executor: Optional[str] = None,
 ) -> SweepResult:
     """Does discarding a burn-in rescue SingleRW on a trappable graph?
 
@@ -272,7 +278,7 @@ def burn_in_ablation(
         method_seed={single_name: root_seed, fs_name: root_seed + 1},
         backend=backend,
     )
-    outcome = run_plan(plan, runs, procs=procs)
+    outcome = run_plan(plan, runs, procs=procs, executor=executor)
 
     def mean_cnmse(estimates):
         curve = nmse_curve(estimates, truth)
@@ -294,6 +300,7 @@ def fs_vs_distributed(
     root_seed: int = 904,
     backend: Optional[Backend] = None,
     procs: Optional[int] = None,
+    executor: Optional[str] = None,
 ) -> SweepResult:
     """FS vs its exponential-clock realization (Theorem 5.5).
 
@@ -319,6 +326,7 @@ def fs_vs_distributed(
         title="fs vs dfs",
         backend=backend,
         procs=procs,
+        executor=executor,
     )
     sweep = SweepResult(
         title=f"Theorem 5.5: centralized vs distributed FS (m={dimension})"

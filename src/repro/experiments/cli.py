@@ -73,7 +73,7 @@ _NO_PROCS = {"table1", "fig3", "fig7"}
 
 
 def _run_one(
-    name: str, scale: float, runs: int, procs=None
+    name: str, scale: float, runs: int, procs=None, executor=None
 ) -> str:
     driver = _EXPERIMENTS[name]
     kwargs = {}
@@ -86,6 +86,8 @@ def _run_one(
             kwargs["runs"] = runs
     if procs is not None and name not in _NO_PROCS:
         kwargs["procs"] = procs
+        if executor is not None:
+            kwargs["executor"] = executor
     result = driver(**kwargs)
     return result.render()
 
@@ -106,7 +108,9 @@ def _build_sampler(args):
                 "--procs > 1 shards the frontier across processes and"
                 " therefore requires --sampler fs"
             )
-        return ShardedFrontierSampler(args.dimension, procs=args.procs)
+        return ShardedFrontierSampler(
+            args.dimension, procs=args.procs, executor=args.executor
+        )
     if args.sampler == "fs":
         return FrontierSampler(args.dimension, backend=args.backend)
     if args.sampler == "srw":
@@ -201,6 +205,17 @@ def _sample_main(argv) -> int:
         " shard-count-invariant, so this never changes results)",
     )
     parser.add_argument(
+        "--executor",
+        choices=("auto", "thread", "spawn"),
+        default=None,
+        help="how --procs > 1 fans out: 'spawn' (default) uses worker"
+        " processes over mmap'd CSR buffers, 'thread' a thread pool"
+        " over the in-process graph (native kernels release the GIL),"
+        " 'auto' picks threads exactly when they can scale; traces"
+        " are bit-identical either way (with --resume, re-pins the"
+        " checkpointed session's executor)",
+    )
+    parser.add_argument(
         "--chunk",
         type=float,
         default=10_000,
@@ -221,6 +236,12 @@ def _sample_main(argv) -> int:
         parser.error("--chunk must be > 0")
     if args.procs is not None and args.procs < 1:
         parser.error("--procs must be >= 1")
+    if (
+        args.executor is not None
+        and not args.resume
+        and (args.procs is None or args.procs < 2)
+    ):
+        parser.error("--executor requires --procs >= 2 (or --resume)")
 
     graph = _load_graph(args)
     print(
@@ -229,7 +250,10 @@ def _sample_main(argv) -> int:
     )
 
     if args.resume:
-        from repro.sampling.sharded import ShardedFrontierSession
+        from repro.sampling.sharded import (
+            ShardedFrontierSession,
+            resolve_executor,
+        )
 
         with open(args.resume, "rb") as handle:
             payload = pickle.load(handle)
@@ -247,6 +271,16 @@ def _sample_main(argv) -> int:
                     f"--procs {args.procs} requires a sharded FS"
                     " checkpoint; this one holds a"
                     f" {session.method} session"
+                )
+        if args.executor is not None:
+            # Same invariance: the executor moves the work, never the
+            # draws, so re-pinning it on resume is always safe.
+            if isinstance(session, ShardedFrontierSession):
+                session.executor = resolve_executor(args.executor)
+            else:
+                raise SystemExit(
+                    "--executor requires a sharded FS checkpoint; this"
+                    f" one holds a {session.method} session"
                 )
         accumulators = payload["accumulators"]
         for accumulator in accumulators.values():
@@ -341,6 +375,15 @@ def _suite_main(argv) -> int:
         " are bit-identical for every value >= 1; default 1)",
     )
     run_parser.add_argument(
+        "--executor",
+        choices=("auto", "thread", "spawn"),
+        default=None,
+        help="how --procs > 1 fans out: 'spawn' processes (default),"
+        " 'thread' a thread pool over the in-process graph, or 'auto'"
+        " (threads exactly when they can scale); results are"
+        " bit-identical either way",
+    )
+    run_parser.add_argument(
         "--out",
         required=True,
         help="output directory for report.json/report.md/report.csv"
@@ -378,13 +421,17 @@ def _suite_main(argv) -> int:
     if args.procs < 1:
         parser.error("--procs must be >= 1")
     started = time.time()
+    executor_note = (
+        f" executor={args.executor}" if args.executor is not None else ""
+    )
     print(
         f"suite {spec.name!r}: {len(spec.scenarios)} scenarios,"
-        f" procs={args.procs}"
+        f" procs={args.procs}{executor_note}"
     )
     result = run_suite(
         spec,
         procs=args.procs,
+        executor=args.executor,
         out_dir=args.out,
         resume=args.resume,
         log=print,
@@ -457,9 +504,21 @@ def main(argv=None) -> int:
         " seed; pooled sessions run on the csr draw protocol, so"
         " compare against --backend csr runs, not list-backend runs",
     )
+    parser.add_argument(
+        "--executor",
+        choices=("auto", "thread", "spawn"),
+        default=None,
+        help="how --procs fans out: 'spawn' worker processes (default),"
+        " 'thread' a thread pool over the in-process graph (no spill,"
+        " no pickling; needs the native kernels to scale), or 'auto'"
+        " (threads exactly when they can scale); results are"
+        " bit-identical for every choice",
+    )
     args = parser.parse_args(argv)
     if args.procs is not None and args.procs < 1:
         parser.error("--procs must be >= 1")
+    if args.executor is not None and args.procs is None:
+        parser.error("--executor requires --procs")
 
     if args.list:
         for name in _EXPERIMENTS:
@@ -484,7 +543,11 @@ def main(argv=None) -> int:
                 )
                 return 2
             started = time.time()
-            print(_run_one(name, args.scale, args.runs, args.procs))
+            print(
+                _run_one(
+                    name, args.scale, args.runs, args.procs, args.executor
+                )
+            )
             print(f"  [{name} finished in {time.time() - started:.1f}s]\n")
     return 0
 

@@ -167,6 +167,7 @@ def degree_error_experiment(
     title: str = "degree error experiment",
     backend: Optional[Backend] = None,
     procs: Optional[int] = None,
+    executor: Optional[str] = None,
 ) -> DegreeErrorResult:
     """Run all samplers and aggregate per-degree error curves.
 
@@ -211,7 +212,7 @@ def degree_error_experiment(
         title=title,
         backend=backend,
     )
-    outcome = run_plan(plan, runs, procs=procs)
+    outcome = run_plan(plan, runs, procs=procs, executor=executor)
     for method in outcome.methods:
         result.curves[method] = nmse_curve(
             outcome.measurements(method), truth
@@ -277,6 +278,7 @@ def degree_error_budget_sweep(
     title: str = "degree error budget sweep",
     backend: Optional[Backend] = None,
     procs: Optional[int] = None,
+    executor: Optional[str] = None,
 ) -> BudgetSweepResult:
     """Error curves at every budget in one anytime pass per replicate.
 
@@ -325,7 +327,7 @@ def degree_error_budget_sweep(
         title=title,
         backend=backend,
     )
-    outcome = run_plan(plan, runs, procs=procs)
+    outcome = run_plan(plan, runs, procs=procs, executor=executor)
     for method, run in outcome.methods.items():
         for budget in checkpoints:
             sweep.results[budget].curves[method] = nmse_curve(

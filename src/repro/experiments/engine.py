@@ -444,6 +444,7 @@ class PlanResult:
     replicates: int
     graph: Any
     procs: Optional[int] = None
+    executor: Optional[str] = None
     methods: Dict[str, MethodRun] = field(default_factory=dict)
 
     def run(self, method: str) -> MethodRun:
@@ -487,7 +488,10 @@ def _replicate_anytime(
 
 
 def run_plan(
-    plan: ExperimentPlan, replicates: int, procs: Optional[int] = None
+    plan: ExperimentPlan,
+    replicates: int,
+    procs: Optional[int] = None,
+    executor: Optional[str] = None,
 ) -> PlanResult:
     """Execute ``plan`` with ``replicates`` independent sessions per
     method.
@@ -495,14 +499,29 @@ def run_plan(
     ``procs=None`` replicates in-process on ``plan.backend`` (the
     historical driver behavior).  ``procs >= 1`` runs pool-capable
     samplers over shared CSR buffers — inline for ``procs == 1``,
-    spawn workers otherwise — with results bit-identical for every
-    ``procs`` value at a fixed seed.  Accumulation and snapshots
-    always run in the parent process, in replicate order.
+    otherwise fanned out by ``executor``: ``"spawn"`` (the default)
+    ships sessions to worker processes, ``"thread"`` drives them from
+    a thread pool over the in-process graph (no spill, no pickling;
+    the native kernels release the GIL), ``"auto"`` picks threads
+    exactly when they can scale (see
+    :func:`repro.sampling.sharded.resolve_executor`).  Results are
+    bit-identical for every ``procs`` value and executor at a fixed
+    seed.  Accumulation and snapshots always run in the parent
+    process, in replicate order.
     """
     graph = plan.resolve_graph()
     methods = plan.methods()
     if methods and replicates < 1:
         raise ValueError(f"replicates must be >= 1, got {replicates}")
+    if executor is not None:
+        if procs is None:
+            raise ValueError(
+                "executor selects how the procs fan-out runs; pass"
+                " procs=N alongside executor"
+            )
+        from repro.sampling.sharded import resolve_executor
+
+        resolve_executor(executor)  # reject bad names before running
     if procs is not None:
         if procs < 1:
             raise ValueError(f"procs must be >= 1, got {procs}")
@@ -513,7 +532,11 @@ def run_plan(
                 " procs=None (or backend='csr')"
             )
     result = PlanResult(
-        title=plan.title, replicates=replicates, graph=graph, procs=procs
+        title=plan.title,
+        replicates=replicates,
+        graph=graph,
+        procs=procs,
+        executor=executor,
     )
     snapshot = plan.snapshot_hook()
     pool = None
@@ -528,7 +551,9 @@ def run_plan(
                 if pool is None:
                     from repro.sampling.sharded import ShardedSessionPool
 
-                    pool = ShardedSessionPool(graph, procs=procs)
+                    pool = ShardedSessionPool(
+                        graph, procs=procs, executor=executor
+                    )
                 raw = pool.run_anytime(
                     sampler,
                     checkpoints,

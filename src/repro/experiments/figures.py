@@ -84,6 +84,7 @@ def fig1(
     root_seed: int = 101,
     backend: Optional[Backend] = None,
     procs: Optional[int] = None,
+    executor: Optional[str] = None,
 ) -> DegreeErrorResult:
     """SingleRW beats uniformly seeded MultipleRW — the motivating
     surprise of Section 4.4."""
@@ -107,6 +108,7 @@ def fig1(
         title="Figure 1 — in-degree CNMSE on flickr-like, B=|V|/2.5",
         backend=backend,
         procs=procs,
+        executor=executor,
     )
 
 
@@ -186,6 +188,7 @@ def fig4(
     budgets: BudgetsArg = None,
     backend: Optional[Backend] = None,
     procs: Optional[int] = None,
+    executor: Optional[str] = None,
 ) -> Union[DegreeErrorResult, BudgetSweepResult]:
     """FS wins even with no disconnected components (Flickr LCC).
 
@@ -211,6 +214,7 @@ def fig4(
             " (budget sweep)",
             backend=backend,
             procs=procs,
+            executor=executor,
         )
     return degree_error_experiment(
         lcc,
@@ -223,6 +227,7 @@ def fig4(
         title="Figure 4 — in-degree CNMSE on flickr-like LCC",
         backend=backend,
         procs=procs,
+        executor=executor,
     )
 
 
@@ -233,6 +238,7 @@ def fig5(
     root_seed: int = 105,
     backend: Optional[Backend] = None,
     procs: Optional[int] = None,
+    executor: Optional[str] = None,
 ) -> DegreeErrorResult:
     """Full Flickr stand-in: the FS gap widens once disconnected
     components can trap SingleRW/MultipleRW walkers."""
@@ -249,6 +255,7 @@ def fig5(
         title="Figure 5 — in-degree CNMSE on full flickr-like",
         backend=backend,
         procs=procs,
+        executor=executor,
     )
 
 
@@ -262,6 +269,7 @@ def fig6(
     root_seed: int = 106,
     backend: Optional[Backend] = None,
     procs: Optional[int] = None,
+    executor: Optional[str] = None,
 ) -> SamplePathResult:
     """Trajectories of theta_hat_1 (fraction of in-degree-1 vertices)
     on the full Flickr stand-in."""
@@ -281,6 +289,7 @@ def fig6(
         title="Figure 6 — sample paths of theta_hat_1 on flickr-like",
         backend=backend,
         procs=procs,
+        executor=executor,
     )
 
 
@@ -291,6 +300,7 @@ def fig9(
     root_seed: int = 109,
     backend: Optional[Backend] = None,
     procs: Optional[int] = None,
+    executor: Optional[str] = None,
 ) -> SamplePathResult:
     """Trajectories of theta_hat_10 on the GAB bridge graph."""
     dataset = gab(scale)
@@ -308,6 +318,7 @@ def fig9(
         title="Figure 9 — sample paths of theta_hat_10 on GAB",
         backend=backend,
         procs=procs,
+        executor=executor,
     )
 
 
@@ -322,6 +333,7 @@ def fig8(
     budgets: BudgetsArg = None,
     backend: Optional[Backend] = None,
     procs: Optional[int] = None,
+    executor: Optional[str] = None,
 ) -> Union[DegreeErrorResult, BudgetSweepResult]:
     """Out-degree CNMSE on the LiveJournal stand-in.
 
@@ -344,6 +356,7 @@ def fig8(
             " (budget sweep)",
             backend=backend,
             procs=procs,
+            executor=executor,
         )
     return degree_error_experiment(
         dataset.graph,
@@ -356,6 +369,7 @@ def fig8(
         title="Figure 8 — out-degree CNMSE on livejournal-like",
         backend=backend,
         procs=procs,
+        executor=executor,
     )
 
 
@@ -366,6 +380,7 @@ def fig10(
     root_seed: int = 110,
     backend: Optional[Backend] = None,
     procs: Optional[int] = None,
+    executor: Optional[str] = None,
 ) -> DegreeErrorResult:
     """Degree CNMSE on GAB — the loosely connected stress test."""
     dataset = gab(scale)
@@ -380,6 +395,7 @@ def fig10(
         title="Figure 10 — degree CNMSE on GAB",
         backend=backend,
         procs=procs,
+        executor=executor,
     )
 
 
@@ -390,6 +406,7 @@ def fig11(
     root_seed: int = 111,
     backend: Optional[Backend] = None,
     procs: Optional[int] = None,
+    executor: Optional[str] = None,
 ) -> DegreeErrorResult:
     """SingleRW/MultipleRW seeded *in steady state* vs uniformly seeded
     FS: the baselines catch up, showing their earlier losses came from
@@ -415,6 +432,7 @@ def fig11(
         " state (flickr-like)",
         backend=backend,
         procs=procs,
+        executor=executor,
     )
 
 
@@ -443,6 +461,7 @@ def fig12(
     budgets: BudgetsArg = None,
     backend: Optional[Backend] = None,
     procs: Optional[int] = None,
+    executor: Optional[str] = None,
 ) -> Union[DegreeErrorResult, BudgetSweepResult]:
     """NMSE of in-degree density: random edge vs random vertex vs FS at
     100% hit ratio.  Edge sampling should win above the average degree
@@ -473,6 +492,7 @@ def fig12(
             " (flickr-like, budget sweep)",
             backend=backend,
             procs=procs,
+            executor=executor,
         )
         if include_analytic:
             for checkpoint, point_result in sweep.results.items():
@@ -494,6 +514,7 @@ def fig12(
         title="Figure 12 — in-degree NMSE, 100% hit ratio (flickr-like)",
         backend=backend,
         procs=procs,
+        executor=executor,
     )
     if include_analytic:
         _fig12_analytic_overlays(
@@ -511,6 +532,7 @@ def fig13(
     edge_hit_ratio: float = 0.025,
     backend: Optional[Backend] = None,
     procs: Optional[int] = None,
+    executor: Optional[str] = None,
 ) -> DegreeErrorResult:
     """Sparse id space: random vertex pays a 10% hit ratio, random edge
     an even lower one, while FS pays the vertex cost only for its m
@@ -546,6 +568,7 @@ def fig13(
         " (livejournal-like)",
         backend=backend,
         procs=procs,
+        executor=executor,
     )
 
 
@@ -594,6 +617,7 @@ def fig14(
     root_seed: int = 114,
     backend: Optional[Backend] = None,
     procs: Optional[int] = None,
+    executor: Optional[str] = None,
 ) -> GroupDensityResult:
     """NMSE of the density of the most popular groups (Section 6.5).
 
@@ -639,7 +663,7 @@ def fig14(
         root_seed=root_seed,
         backend=backend,
     )
-    outcome = run_plan(plan, runs, procs=procs)
+    outcome = run_plan(plan, runs, procs=procs, executor=executor)
     curves: Dict[str, Dict[int, float]] = {
         method: {
             group: nmse(

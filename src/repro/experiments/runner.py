@@ -90,19 +90,22 @@ def replicate_traces(
     runs: int,
     root_seed: int = 0,
     procs: int = 1,
+    executor: Optional[str] = None,
 ) -> List:
-    """Replicated one-shot traces, optionally fanned out across processes.
+    """Replicated one-shot traces, optionally fanned out across workers.
 
     ``procs <= 1`` runs the replication in-process; ``procs > 1``
-    dispatches the runs to a spawn-safe worker pool
-    (:class:`~repro.sampling.sharded.ShardedSessionPool`) sharing the
-    graph through mmap'd read-only CSR buffers.  Both paths run each
-    replicate as ``sampler.sample(graph, budget, child_rng(root_seed,
-    index))`` on the csr backend with identical stream derivation, so
-    the returned traces are bit-identical regardless of ``procs`` —
-    parallelism is a deployment knob, never a statistics change.
+    dispatches the runs to a worker pool
+    (:class:`~repro.sampling.sharded.ShardedSessionPool`) — spawn
+    processes sharing the graph through mmap'd read-only CSR buffers,
+    or, with ``executor="thread"``/``"auto"``, threads over the
+    in-process graph.  All paths run each replicate as
+    ``sampler.sample(graph, budget, child_rng(root_seed, index))`` on
+    the csr backend with identical stream derivation, so the returned
+    traces are bit-identical regardless of ``procs`` and ``executor``
+    — parallelism is a deployment knob, never a statistics change.
     """
     from repro.sampling.sharded import ShardedSessionPool
 
-    with ShardedSessionPool(graph, procs=procs) as pool:
+    with ShardedSessionPool(graph, procs=procs, executor=executor) as pool:
         return pool.run(sampler, budget, runs, root_seed=root_seed)

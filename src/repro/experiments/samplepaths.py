@@ -165,6 +165,7 @@ def sample_paths(
     title: str = "sample paths",
     backend: Optional[Backend] = None,
     procs: Optional[int] = None,
+    executor: Optional[str] = None,
 ) -> SamplePathResult:
     """Figures 6/9: trajectories of ``theta_hat(target_degree)``.
 
@@ -207,7 +208,7 @@ def sample_paths(
         },
         backend=backend,
     )
-    outcome = run_plan(plan, num_paths, procs=procs)
+    outcome = run_plan(plan, num_paths, procs=procs, executor=executor)
     result = SamplePathResult(
         title=title,
         target_degree=target_degree,

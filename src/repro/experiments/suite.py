@@ -714,6 +714,7 @@ class SuiteResult:
 
     spec: SuiteSpec
     procs: int
+    executor: Optional[str] = None
     outcomes: List[ScenarioOutcome] = field(default_factory=list)
 
     def outcome(self, scenario_id: str) -> ScenarioOutcome:
@@ -730,7 +731,9 @@ def _budget_key(budget: float) -> str:
     return f"{budget:g}"
 
 
-def run_scenario(scenario: Scenario, procs: int = 1) -> Dict[str, Any]:
+def run_scenario(
+    scenario: Scenario, procs: int = 1, executor: Optional[str] = None
+) -> Dict[str, Any]:
     """Execute one scenario and score it.
 
     Returns the scenario's report fragment: realized graph facts plus
@@ -741,7 +744,9 @@ def run_scenario(scenario: Scenario, procs: int = 1) -> Dict[str, Any]:
     """
     graph = scenario.build_graph()
     plan = scenario.build_plan(graph)
-    outcome = run_plan(plan, scenario.replicates, procs=procs)
+    outcome = run_plan(
+        plan, scenario.replicates, procs=procs, executor=executor
+    )
     truths = {
         name: _ESTIMATORS[name].truth(graph)
         for name in scenario.estimators
@@ -792,6 +797,7 @@ def run_scenario(scenario: Scenario, procs: int = 1) -> Dict[str, Any]:
 def run_suite(
     spec: SuiteSpec,
     procs: int = 1,
+    executor: Optional[str] = None,
     out_dir=None,
     resume: bool = False,
     log: Optional[Callable[[str], None]] = None,
@@ -800,7 +806,9 @@ def run_suite(
 
     ``procs`` fans each scenario's replicates over shared-CSR workers
     (``run_plan`` semantics: results are bit-identical for every value
-    >= 1).  With ``out_dir``, each scenario's stats are checkpointed
+    >= 1 and for every ``executor`` — spawn processes by default,
+    threads with ``executor="thread"``/``"auto"``).  With ``out_dir``,
+    each scenario's stats are checkpointed
     to ``<out_dir>/scenarios/<id>.json`` as soon as it finishes;
     ``resume=True`` then skips scenarios whose checkpoint fingerprint
     still matches the spec, so an interrupted suite continues where it
@@ -813,7 +821,7 @@ def run_suite(
     if out_dir is not None:
         checkpoint_dir = Path(out_dir) / "scenarios"
         checkpoint_dir.mkdir(parents=True, exist_ok=True)
-    result = SuiteResult(spec=spec, procs=procs)
+    result = SuiteResult(spec=spec, procs=procs, executor=executor)
     for scenario in spec.scenarios:
         checkpoint = (
             checkpoint_dir / f"{scenario.id}.json"
@@ -842,7 +850,9 @@ def run_suite(
             f" {scenario.replicates} replicates x"
             f" {len(scenario.budgets)} budgets"
         )
-        scenario_result = run_scenario(scenario, procs=procs)
+        scenario_result = run_scenario(
+            scenario, procs=procs, executor=executor
+        )
         if checkpoint is not None:
             checkpoint.write_text(
                 json.dumps(

@@ -155,6 +155,7 @@ def table2(
     datasets: Optional[List[Dataset]] = None,
     backend: Optional[Backend] = None,
     procs: Optional[int] = None,
+    executor: Optional[str] = None,
 ) -> Table2Result:
     """Regenerate Table 2: assortativity bias and NMSE per method.
 
@@ -190,7 +191,7 @@ def table2(
             lambda trace: assortativity_from_trace(graph, trace),
             backend,
         )
-        outcome = run_plan(plan, runs, procs=procs)
+        outcome = run_plan(plan, runs, procs=procs, executor=executor)
         bias: Dict[str, float] = {}
         error: Dict[str, float] = {}
         for method in samplers:
@@ -259,6 +260,7 @@ def table3(
     datasets: Optional[List[Dataset]] = None,
     backend: Optional[Backend] = None,
     procs: Optional[int] = None,
+    executor: Optional[str] = None,
 ) -> Table3Result:
     """Regenerate Table 3: E[C_hat] and NMSE on Flickr and LiveJournal
     stand-ins for FS, SingleRW and MultipleRW.  Replicates run through
@@ -284,7 +286,7 @@ def table3(
             lambda trace: global_clustering_from_trace(graph, trace),
             backend,
         )
-        outcome = run_plan(plan, runs, procs=procs)
+        outcome = run_plan(plan, runs, procs=procs, executor=executor)
         means: Dict[str, float] = {}
         errors: Dict[str, float] = {}
         for method in samplers:
@@ -403,6 +405,7 @@ def table4(
     budgets: Optional[Dict[str, int]] = None,
     backend: Optional[Backend] = None,
     procs: Optional[int] = None,
+    executor: Optional[str] = None,
 ) -> Table4Result:
     """Regenerate Table 4 on miniature LCCs of the three smallest
     stand-ins.
@@ -449,7 +452,7 @@ def table4(
             method_seed=method_seed,
             backend=backend,
         )
-        outcome = run_plan(plan, mc_runs, procs=procs)
+        outcome = run_plan(plan, mc_runs, procs=procs, executor=executor)
         gaps: Dict[str, float] = {
             method: final_edge_gap_from_edges(
                 lcc, outcome.measurements(method)

@@ -41,8 +41,11 @@ from repro.sampling.metropolis import MetropolisHastingsWalk
 from repro.sampling.multiple import MultipleRandomWalk
 from repro.sampling.session import SamplerSession, load_session
 from repro.sampling.sharded import (
+    VALID_EXECUTORS,
     ShardedFrontierSampler,
     ShardedSessionPool,
+    resolve_executor,
+    threads_can_scale,
 )
 from repro.sampling.single import SingleRandomWalk
 from repro.sampling.vectorized import (
@@ -67,14 +70,17 @@ __all__ = [
     "ShardedFrontierSampler",
     "ShardedSessionPool",
     "SingleRandomWalk",
+    "VALID_EXECUTORS",
     "VertexTrace",
     "WalkTrace",
     "batch_walk_positions",
     "get_default_backend",
     "load_session",
+    "resolve_executor",
     "set_default_backend",
     "stationary_seeds",
     "steps_within_budget",
+    "threads_can_scale",
     "uniform_seeds",
     "use_backend",
 ]

@@ -12,6 +12,12 @@
  * IEEE-754 double multiply + truncation CPython performs for
  * int(u * range).  The clamp to range - 1 guards the (probability ~0)
  * rounding-up of u values adjacent to 1.0.
+ *
+ * Reentrancy contract: these kernels run concurrently from many
+ * threads while ctypes has released the GIL, over one shared CSR
+ * graph.  Keep them stateless — no static/global storage, no
+ * allocation, writes only to the caller-owned output buffers (and,
+ * for FS, the caller's private frontier array).
  */
 
 #include <stdint.h>

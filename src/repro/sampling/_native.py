@@ -9,6 +9,15 @@ compiler, the compile fails, or ``REPRO_NO_NATIVE`` is set, callers
 get ``None`` and the engine falls back to the pure-Python kernels,
 which implement the identical draw protocol (traces are bit-for-bit
 the same either way — only the speed differs).
+
+Thread contract: ``ctypes`` releases the GIL for the duration of
+every foreign call, so kernel calls from concurrent threads overlap
+on real cores.  That is only sound because the kernels are stateless
+and reentrant — no static or global storage in ``_kernels.c``, all
+inputs read-only except caller-owned output buffers, and every
+wrapper below allocates fresh output arrays per call.  Keep it that
+way: the thread executor in :mod:`repro.sampling.sharded` depends on
+it.
 """
 
 from __future__ import annotations
@@ -19,6 +28,7 @@ import os
 import shutil
 import subprocess
 import tempfile
+import threading
 from pathlib import Path
 from typing import Optional
 
@@ -33,6 +43,9 @@ _DP = ctypes.POINTER(ctypes.c_double)
 #: ctypes.CDLL = loaded.
 _LIB: object = None
 _ATTEMPTED = False
+#: Serializes the first compile-and-load so concurrent threads cannot
+#: race the lazy initialization (one compiles, the rest wait).
+_LOAD_LOCK = threading.Lock()
 
 
 def _cache_dir() -> Path:
@@ -105,11 +118,13 @@ def load() -> Optional[ctypes.CDLL]:
     if os.environ.get("REPRO_NO_NATIVE"):
         return None
     if not _ATTEMPTED:
-        _ATTEMPTED = True
-        try:
-            _LIB = _compile_and_load()
-        except Exception:
-            _LIB = None
+        with _LOAD_LOCK:
+            if not _ATTEMPTED:
+                try:
+                    _LIB = _compile_and_load()
+                except Exception:
+                    _LIB = None
+                _ATTEMPTED = True
     return _LIB  # type: ignore[return-value]
 
 

@@ -46,7 +46,10 @@ import multiprocessing
 import os
 import random
 import shutil
+import sys
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
+from functools import partial
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -54,6 +57,7 @@ import numpy as np
 
 from repro.graph.csr import CSRGraph, get_csr
 from repro.graph.io import load_csr_npy, shared_csr_stem
+from repro.sampling import _native
 from repro.sampling.base import (
     Sampler,
     SeedingMode,
@@ -88,6 +92,54 @@ EVENT_BLOCK = 128
 _SEED_STREAM = 0  # seed drawing, index 0
 _WALK_STREAM = 1  # per-walker neighbor choices
 _HOLD_STREAM = 2  # per-walker exponential holding times
+
+#: Execution backends for the parallel coordinators.  ``None`` means
+#: the legacy default (spawn).  The executor moves work around; it is
+#: never part of the draw protocol — every replicate/walker stream is
+#: a pure function of ``(root seed, index)``, so traces are
+#: bit-identical across executors by construction.
+VALID_EXECUTORS = ("auto", "thread", "spawn")
+
+
+def threads_can_scale() -> bool:
+    """Can a thread fan-out actually use more than one core?
+
+    True when the native kernels are loadable — ``ctypes`` releases
+    the GIL for the duration of every foreign call, so concurrent
+    sessions overlap their kernel time — or when the interpreter
+    itself runs without a GIL (a free-threaded 3.13+ build reports
+    ``sys._is_gil_enabled() == False``).  The pure-Python kernels hold
+    the GIL for their entire step loop, so without either escape hatch
+    threads serialize and only add overhead.
+    """
+    if _native.available():
+        return True
+    gil_check = getattr(sys, "_is_gil_enabled", None)
+    return gil_check is not None and not gil_check()
+
+
+def resolve_executor(executor: Optional[str]) -> str:
+    """Map an ``executor=`` argument to a concrete backend.
+
+    ``None`` keeps the legacy spawn behavior.  ``"auto"`` picks
+    ``"thread"`` exactly when :func:`threads_can_scale` says threads
+    can overlap (native kernels available, or a no-GIL interpreter)
+    and falls back to ``"spawn"`` otherwise — the documented heuristic
+    for the pure-Python fallback, which cannot release the GIL.
+    ``"thread"`` and ``"spawn"`` are always honored as given (an
+    explicit thread request without native kernels is correct, just
+    not faster).
+    """
+    if executor is None:
+        return "spawn"
+    if executor not in VALID_EXECUTORS:
+        raise ValueError(
+            f"executor must be one of {VALID_EXECUTORS} or None,"
+            f" got {executor!r}"
+        )
+    if executor == "auto":
+        return "thread" if threads_can_scale() else "spawn"
+    return executor
 
 
 def _root_entropy(rng: NpRngLike) -> int:
@@ -174,7 +226,15 @@ def _advance_blocks(
 
 
 # ----------------------------------------------------------------------
-# worker-process plumbing (spawn start method; graph shared via mmap)
+# worker plumbing.  The core task functions take the graph and kernel
+# choice as explicit arguments, so the inline and thread paths call
+# them directly over the in-process CSR — no shared mutable module
+# state, which is what lets many threads run tasks concurrently.  The
+# spawn path wraps the same cores in module-level functions that read
+# the per-process globals the pool initializer pins (spawn start
+# method; graph shared via mmap, never pickled).  Inline, thread and
+# spawn therefore execute the identical task code; only the transport
+# differs, never the draw protocol.
 # ----------------------------------------------------------------------
 _WORKER_CSR: Optional[CSRGraph] = None
 _WORKER_NATIVE: Optional[bool] = None
@@ -187,24 +247,26 @@ def _worker_init(stem: str, native: Optional[bool]) -> None:
     _WORKER_NATIVE = native
 
 
-def _shard_advance(
+def _shard_advance_task(
+    csr: CSRGraph,
+    native: Optional[bool],
     task: Tuple[int, List[Tuple[_WalkerClock, int]]],
 ) -> List[Tuple[_WalkerClock, np.ndarray, np.ndarray, np.ndarray]]:
-    """Worker task: advance each ``(walker, blocks)`` in the shard."""
+    """Advance each ``(walker, blocks)`` in the shard."""
     block_size, shard = task
     out = []
     for walker, blocks in shard:
         times, sources, targets = _advance_blocks(
-            _WORKER_CSR, walker, blocks, block_size, _WORKER_NATIVE
+            csr, walker, blocks, block_size, native
         )
         out.append((walker, times, sources, targets))
     return out
 
 
-def _pool_sample_one(args):
-    """Worker task: one independent session run over the shared graph."""
+def _sample_task(csr: CSRGraph, native: Optional[bool], args):
+    """One independent session run over the shared graph."""
     sampler, budget, root_seed, index = args
-    session = sampler.start(_WORKER_CSR, rng=child_rng(root_seed, index))
+    session = sampler.start(csr, rng=child_rng(root_seed, index))
     try:
         session.advance_budget(budget)
         return session.trace()
@@ -214,8 +276,8 @@ def _pool_sample_one(args):
             closer()
 
 
-def _pool_anytime_one(args):
-    """Worker task: one anytime session drained at every checkpoint.
+def _anytime_task(csr: CSRGraph, native: Optional[bool], args):
+    """One anytime session drained at every checkpoint.
 
     Returns ``(increments, steps_taken)`` — the per-checkpoint trace
     increments (what ``take_trace`` handed out after each advance) and
@@ -225,38 +287,23 @@ def _pool_anytime_one(args):
     the pooled and in-process paths cannot drift apart.
     """
     starter, sampler, schedule, checkpoints, root_seed, index = args
-    session = starter(sampler, _WORKER_CSR, root_seed, index)
+    session = starter(sampler, csr, root_seed, index)
     return drain_session_checkpoints(session, schedule, checkpoints)
 
 
-def _run_inline(csr, native, fn, tasks):
-    """Run worker tasks in this process with the worker globals pinned.
-
-    The inline paths exercise the identical task functions the spawn
-    workers run; only the transport differs, never the draw protocol.
-    """
-    global _WORKER_CSR, _WORKER_NATIVE
-    saved = (_WORKER_CSR, _WORKER_NATIVE)
-    _WORKER_CSR, _WORKER_NATIVE = csr, native
-    try:
-        return [fn(task) for task in tasks]
-    finally:
-        _WORKER_CSR, _WORKER_NATIVE = saved
+def _shard_advance(task):
+    """Spawn wrapper for :func:`_shard_advance_task`."""
+    return _shard_advance_task(_WORKER_CSR, _WORKER_NATIVE, task)
 
 
-def _iter_inline(csr, native, fn, tasks):
-    """Lazy :func:`_run_inline`: one task at a time, globals pinned
-    around each call, so a streaming consumer never holds more than
-    one task's result."""
-    global _WORKER_CSR, _WORKER_NATIVE
-    for task in tasks:
-        saved = (_WORKER_CSR, _WORKER_NATIVE)
-        _WORKER_CSR, _WORKER_NATIVE = csr, native
-        try:
-            result = fn(task)
-        finally:
-            _WORKER_CSR, _WORKER_NATIVE = saved
-        yield result
+def _pool_sample_one(args):
+    """Spawn wrapper for :func:`_sample_task`."""
+    return _sample_task(_WORKER_CSR, _WORKER_NATIVE, args)
+
+
+def _pool_anytime_one(args):
+    """Spawn wrapper for :func:`_anytime_task`."""
+    return _anytime_task(_WORKER_CSR, _WORKER_NATIVE, args)
 
 
 def _partition(items: List, shards: int) -> List[List]:
@@ -271,14 +318,27 @@ def _partition(items: List, shards: int) -> List[List]:
 
 
 class _SpawnPoolMixin:
-    """Shared spawn-pool + graph-spill lifecycle for the coordinators."""
+    """Shared executor + graph-spill lifecycle for the coordinators.
 
-    def _init_sharing(self, procs: Optional[int], native: Optional[bool]):
+    Holds at most one live fan-out vehicle: a spawn process pool (with
+    the graph spilled to mmap'd files for the workers) or a
+    ``ThreadPoolExecutor`` (which needs neither spill nor pickling —
+    threads read the coordinator's own ``CSRGraph``).
+    """
+
+    def _init_sharing(
+        self,
+        procs: Optional[int],
+        native: Optional[bool],
+        executor: Optional[str] = None,
+    ):
         if procs is not None and procs < 1:
             raise ValueError(f"procs must be >= 1, got {procs}")
         self.procs = int(procs) if procs is not None else (os.cpu_count() or 1)
+        self.executor = resolve_executor(executor)
         self._native = native
         self._pool = None
+        self._threads: Optional[ThreadPoolExecutor] = None
         self._spill_dir: Optional[Path] = None
         self._stem: Optional[Path] = None
 
@@ -297,12 +357,22 @@ class _SpawnPoolMixin:
             )
         return self._pool
 
+    def _ensure_threads(self) -> ThreadPoolExecutor:
+        if self._threads is None:
+            self._threads = ThreadPoolExecutor(
+                max_workers=self.procs, thread_name_prefix="repro-shard"
+            )
+        return self._threads
+
     def close(self) -> None:
-        """Shut down the worker pool and remove any temp-spilled graph."""
+        """Shut down the workers and remove any temp-spilled graph."""
         pool, self._pool = getattr(self, "_pool", None), None
         if pool is not None:
             pool.terminate()
             pool.join()
+        threads, self._threads = getattr(self, "_threads", None), None
+        if threads is not None:
+            threads.shutdown(wait=True, cancel_futures=True)
         spill, self._spill_dir = getattr(self, "_spill_dir", None), None
         if spill is not None:
             shutil.rmtree(spill, ignore_errors=True)
@@ -342,7 +412,7 @@ class ShardedFrontierSession(_SpawnPoolMixin, SamplerSession):
     after :func:`~repro.sampling.session.load_session`.
     """
 
-    _UNPICKLED = ("_csr", "_pool", "_spill_dir", "_stem")
+    _UNPICKLED = ("_csr", "_pool", "_threads", "_spill_dir", "_stem")
 
     def __init__(
         self,
@@ -365,7 +435,7 @@ class ShardedFrontierSession(_SpawnPoolMixin, SamplerSession):
         super(_SpawnPoolMixin, self).__init__(sampler, graph, seeds)
         require_walkable_seeds(csr, seeds, "FS cannot walk from it")
         self.entropy = entropy
-        self._init_sharing(sampler.procs, sampler.native)
+        self._init_sharing(sampler.procs, sampler.native, sampler.executor)
         self._use_processes = sampler.use_processes
         self.event_block = int(sampler.event_block)
         self._walkers = [
@@ -399,18 +469,26 @@ class ShardedFrontierSession(_SpawnPoolMixin, SamplerSession):
             (self._walkers[index], blocks)
             for index, blocks in sorted(blocks_by_walker.items())
         ]
-        run_in_pool = self._use_processes is not False and self.procs > 1
+        run_parallel = self._use_processes is not False and self.procs > 1
         tasks = [
             (self.event_block, shard)
             for shard in _partition(items, self.procs)
         ]
-        if run_in_pool:
+        if not run_parallel:
+            shard_results = [
+                _shard_advance_task(self._csr, self._native, task)
+                for task in tasks
+            ]
+        elif self.executor == "thread":
+            shard_results = list(
+                self._ensure_threads().map(
+                    partial(_shard_advance_task, self._csr, self._native),
+                    tasks,
+                )
+            )
+        else:
             pool = self._ensure_pool(self._csr)
             shard_results = pool.map(_shard_advance, tasks)
-        else:
-            shard_results = _run_inline(
-                self._csr, self._native, _shard_advance, tasks
-            )
         for result in shard_results:
             for walker, times, sources, targets in result:
                 # The pool round-trips walker state by value; adopt the
@@ -532,11 +610,20 @@ class ShardedFrontierSampler(Sampler):
 
     ``procs=None`` uses every CPU; ``use_processes=False`` runs the
     shard tasks inline (same draw protocol, no pool — useful for tests
-    and single-core hosts).  There is no ``walker_selection`` knob:
-    the exponential-clock realization *is* the degree-proportional
-    pick (that is Theorem 5.5's content).  Sessions returned by
-    :meth:`start` hold a worker pool and possibly temp files — call
-    ``close()`` (or use the session as a context manager) when done.
+    and single-core hosts).  ``executor`` picks the fan-out vehicle
+    when ``procs > 1``: ``"spawn"`` (the default, ``None``) ships
+    shards to worker processes over mmap'd CSR buffers, ``"thread"``
+    drives them from a ``ThreadPoolExecutor`` over the in-process
+    graph (no spill, no pickling — the native kernels release the GIL
+    for the whole batch call), and ``"auto"`` picks threads exactly
+    when they can scale (see
+    :func:`~repro.sampling.sharded.resolve_executor`).  Traces are
+    bit-identical across executors.  There is no ``walker_selection``
+    knob: the exponential-clock realization *is* the
+    degree-proportional pick (that is Theorem 5.5's content).
+    Sessions returned by :meth:`start` hold worker resources and
+    possibly temp files — call ``close()`` (or use the session as a
+    context manager) when done.
     """
 
     name = "ShardedFS"
@@ -550,6 +637,7 @@ class ShardedFrontierSampler(Sampler):
         native: Optional[bool] = None,
         use_processes: Optional[bool] = None,
         event_block: int = EVENT_BLOCK,
+        executor: Optional[str] = None,
     ):
         if dimension < 1:
             raise ValueError(f"dimension must be >= 1, got {dimension}")
@@ -568,6 +656,8 @@ class ShardedFrontierSampler(Sampler):
                 f"event_block must be >= 1, got {event_block}"
             )
         self.event_block = int(event_block)
+        resolve_executor(executor)  # validate the name eagerly
+        self.executor = executor
 
     def start(
         self,
@@ -628,11 +718,24 @@ class ShardedSessionPool(_SpawnPoolMixin):
     Kernel selection is the sampler's own affair (its sessions resolve
     native availability per process), so the pool takes no ``native``
     knob.
+
+    ``executor`` picks the fan-out vehicle when ``procs > 1``:
+    ``"spawn"`` (the default) ships tasks to worker processes,
+    ``"thread"`` runs the identical task functions in a
+    ``ThreadPoolExecutor`` over this process's ``CSRGraph`` — zero
+    startup, zero serialization — and ``"auto"`` chooses threads
+    exactly when :func:`resolve_executor` says they can scale.
+    Results are bit-identical across executors.
     """
 
-    def __init__(self, graph, procs: Optional[int] = None):
+    def __init__(
+        self,
+        graph,
+        procs: Optional[int] = None,
+        executor: Optional[str] = None,
+    ):
         self._csr = get_csr(graph)
-        self._init_sharing(procs, None)
+        self._init_sharing(procs, None, executor)
 
     @staticmethod
     def _check_run(sampler, runs: int) -> None:
@@ -653,20 +756,35 @@ class ShardedSessionPool(_SpawnPoolMixin):
         if runs < 1:
             raise ValueError(f"runs must be >= 1, got {runs}")
 
-    def _map(self, fn, tasks: List) -> List:
+    def _map(self, task_fn, spawn_fn, tasks: List) -> List:
+        """Run ``task_fn(csr, native, task)`` over every task, eagerly.
+
+        ``spawn_fn`` is the module-level wrapper the spawn workers run
+        (same core, graph read from the per-process globals).
+        """
         if self.procs <= 1:
-            return _run_inline(self._csr, self._native, fn, tasks)
+            return [
+                task_fn(self._csr, self._native, task) for task in tasks
+            ]
+        if self.executor == "thread":
+            bound = partial(task_fn, self._csr, self._native)
+            return list(self._ensure_threads().map(bound, tasks))
         pool = self._ensure_pool(self._csr)
         chunk = max(1, len(tasks) // (self.procs * 4))
-        return pool.map(fn, tasks, chunksize=chunk)
+        return pool.map(spawn_fn, tasks, chunksize=chunk)
 
-    def _imap(self, fn, tasks: List):
+    def _imap(self, task_fn, spawn_fn, tasks: List):
         """Lazy :meth:`_map`: an iterator over results in task order."""
         if self.procs <= 1:
-            return _iter_inline(self._csr, self._native, fn, tasks)
+            return (
+                task_fn(self._csr, self._native, task) for task in tasks
+            )
+        if self.executor == "thread":
+            bound = partial(task_fn, self._csr, self._native)
+            return self._ensure_threads().map(bound, tasks)
         pool = self._ensure_pool(self._csr)
         chunk = max(1, len(tasks) // (self.procs * 4))
-        return pool.imap(fn, tasks, chunksize=chunk)
+        return pool.imap(spawn_fn, tasks, chunksize=chunk)
 
     def run(
         self, sampler, budget: float, runs: int, root_seed: int = 0
@@ -674,7 +792,7 @@ class ShardedSessionPool(_SpawnPoolMixin):
         """``runs`` independent ``sample(graph, budget)`` traces."""
         self._check_run(sampler, runs)
         tasks = [(sampler, budget, root_seed, index) for index in range(runs)]
-        return self._map(_pool_sample_one, tasks)
+        return self._map(_sample_task, _pool_sample_one, tasks)
 
     def run_anytime(
         self,
@@ -698,10 +816,11 @@ class ShardedSessionPool(_SpawnPoolMixin):
         count.  This is the fan-out under
         :func:`repro.experiments.engine.run_plan`: each replicate
         walks once, whatever the number of checkpoints, and the
-        result is bit-identical for any worker count (inline at
-        ``procs <= 1``, spawn workers otherwise — same task function,
-        same streams).  ``starter`` must be picklable (a module-level
-        function or an instance of a module-level class).
+        result is bit-identical for any worker count and executor
+        (inline at ``procs <= 1``, thread or spawn workers otherwise —
+        same task function, same streams).  ``starter`` must be
+        picklable (a module-level function or an instance of a
+        module-level class) when the spawn executor runs it.
 
         ``lazy=True`` returns an iterator over the rows (task order)
         instead of a list, so a streaming consumer — the experiment
@@ -726,5 +845,5 @@ class ShardedSessionPool(_SpawnPoolMixin):
             for index in range(runs)
         ]
         if lazy:
-            return self._imap(_pool_anytime_one, tasks)
-        return self._map(_pool_anytime_one, tasks)
+            return self._imap(_anytime_task, _pool_anytime_one, tasks)
+        return self._map(_anytime_task, _pool_anytime_one, tasks)

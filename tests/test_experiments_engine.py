@@ -28,6 +28,9 @@ from repro.util.rng import child_rng
 
 #: Worker count for the real-spawn tests (CI's smoke leg sets 4).
 SPAWN_PROCS = int(os.environ.get("REPRO_SHARD_PROCS", "2"))
+#: Executor override for the fan-out tests (CI's thread leg sets
+#: "thread"); None keeps the legacy spawn default.
+EXECUTOR = os.environ.get("REPRO_EXECUTOR") or None
 
 
 @pytest.fixture(scope="module")
@@ -304,7 +307,7 @@ class TestProcsFanOut:
             budgets=[80],
         )
         base = run_plan(plan, 3)
-        pooled = run_plan(plan, 3, procs=SPAWN_PROCS)
+        pooled = run_plan(plan, 3, procs=SPAWN_PROCS, executor=EXECUTOR)
         assert not pooled.run("RV").pooled
         for ta, tb in zip(
             base.measurements("RV"), pooled.measurements("RV")
@@ -341,7 +344,7 @@ class TestProcsFanOut:
             budgets=[100, 250],
         )
         inline = run_plan(plan, 3, procs=1)
-        pooled = run_plan(plan, 3, procs=SPAWN_PROCS)
+        pooled = run_plan(plan, 3, procs=SPAWN_PROCS, executor=EXECUTOR)
         for method in ("FS", "MRW", "SRW"):
             assert (
                 inline.run(method).steps_taken

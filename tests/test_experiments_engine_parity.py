@@ -12,36 +12,60 @@ The ``TestProcsInvariance`` suite is the other half of the
 contract: representative drivers of every family (error figure,
 budget sweep, sample paths, group densities, tables, ablations) run
 at ``procs=1`` and ``procs=SPAWN_PROCS`` (real spawn workers; CI's
-smoke leg raises the count to 4 via ``REPRO_SHARD_PROCS``) and must
-agree exactly.
+smoke leg raises the count to 4 via ``REPRO_SHARD_PROCS``, and its
+thread leg swaps the fan-out vehicle via ``REPRO_EXECUTOR=thread``)
+and must agree exactly.
+
+``TestExecutorTorture`` is the executor half: a Hypothesis property
+walks executor in {inline, thread, spawn} x procs in {1, 2, 4} x
+advance-chunking for every pool-capable sampler family and asserts
+byte-identical trace fingerprints and accumulator states against the
+inline reference, plus a ``REPRO_NO_NATIVE`` leg exercising the
+``executor="auto"`` fallback (pure-Python kernels cannot release the
+GIL, so auto must pick spawn there).
 """
 
 from __future__ import annotations
 
+import atexit
+import hashlib
 import os
+import sys
 
+import numpy as np
 import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
 
+from repro.estimators.streaming import StreamingDegreePMF
 from repro.experiments import ablations, figures, tables
 from repro.experiments.degree_errors import (
     _estimate,
     degree_error_experiment,
 )
 from repro.generators.ba import barabasi_albert
+from repro.graph.csr import get_csr
 from repro.metrics.errors import nmse_curve
 from repro.metrics.exact import true_degree_ccdf
 from repro.sampling import (
     FrontierSampler,
+    MetropolisHastingsWalk,
     MultipleRandomWalk,
     RandomEdgeSampler,
     RandomVertexSampler,
+    ShardedSessionPool,
     SingleRandomWalk,
 )
+from repro.sampling import _native
 from repro.sampling.base import walk_steps
+from repro.sampling.sharded import resolve_executor, threads_can_scale
 from repro.util.rng import child_rng
 
 #: Worker count for the real-spawn tests (CI's smoke leg sets 4).
 SPAWN_PROCS = int(os.environ.get("REPRO_SHARD_PROCS", "2"))
+#: Fan-out vehicle for the parallel side of the invariance tests
+#: (CI's thread smoke leg sets "thread"; default keeps legacy spawn).
+EXECUTOR = os.environ.get("REPRO_EXECUTOR") or None
 
 SCALE = 0.05
 RUNS = 3
@@ -348,7 +372,8 @@ class TestProcsInvariance:
             scale=SCALE, runs=RUNS, dimension=DIMENSION, procs=1
         )
         b = figures.fig10(
-            scale=SCALE, runs=RUNS, dimension=DIMENSION, procs=SPAWN_PROCS
+            scale=SCALE, runs=RUNS, dimension=DIMENSION, procs=SPAWN_PROCS,
+            executor=EXECUTOR,
         )
         assert a.curves == b.curves
 
@@ -362,6 +387,7 @@ class TestProcsInvariance:
             dimension=DIMENSION,
             budgets=2,
             procs=SPAWN_PROCS,
+            executor=EXECUTOR,
         )
         assert a.steps_walked == b.steps_walked
         for budget in a.budgets:
@@ -372,7 +398,8 @@ class TestProcsInvariance:
             scale=SCALE, dimension=DIMENSION, num_paths=2, procs=1
         )
         b = figures.fig9(
-            scale=SCALE, dimension=DIMENSION, num_paths=2, procs=SPAWN_PROCS
+            scale=SCALE, dimension=DIMENSION, num_paths=2, procs=SPAWN_PROCS,
+            executor=EXECUTOR,
         )
         assert a.paths == b.paths
 
@@ -381,7 +408,8 @@ class TestProcsInvariance:
             scale=SCALE, runs=RUNS, dimension=DIMENSION, procs=1
         )
         b = figures.fig14(
-            scale=SCALE, runs=RUNS, dimension=DIMENSION, procs=SPAWN_PROCS
+            scale=SCALE, runs=RUNS, dimension=DIMENSION, procs=SPAWN_PROCS,
+            executor=EXECUTOR,
         )
         assert a.curves == b.curves
 
@@ -401,6 +429,7 @@ class TestProcsInvariance:
             dimension=DIMENSION,
             datasets=[gab(SCALE)],
             procs=SPAWN_PROCS,
+            executor=EXECUTOR,
         )
         assert a.rows[0].mean_estimate == b.rows[0].mean_estimate
         assert a.rows[0].error == b.rows[0].error
@@ -410,7 +439,8 @@ class TestProcsInvariance:
             graph_size=40, num_walkers=4, mc_runs=200, procs=1
         )
         b = tables.table4(
-            graph_size=40, num_walkers=4, mc_runs=200, procs=SPAWN_PROCS
+            graph_size=40, num_walkers=4, mc_runs=200, procs=SPAWN_PROCS,
+            executor=EXECUTOR,
         )
         for row_a, row_b in zip(a.rows, b.rows):
             assert row_a.gaps == row_b.gaps
@@ -422,7 +452,8 @@ class TestProcsInvariance:
             scale=0.1, runs=RUNS, dimension=8, procs=1
         )
         b = ablations.fs_vs_distributed(
-            scale=0.1, runs=RUNS, dimension=8, procs=SPAWN_PROCS
+            scale=0.1, runs=RUNS, dimension=8, procs=SPAWN_PROCS,
+            executor=EXECUTOR,
         )
         assert a.errors == b.errors
 
@@ -433,3 +464,200 @@ def test_budget_sweep_render_and_structure(fig):
     assert len(sweep.budgets) == 2
     text = sweep.render()
     assert "budget" in text
+
+
+# ----------------------------------------------------------------------
+# executor torture: inline x thread x spawn x procs x chunking
+# ----------------------------------------------------------------------
+#: One shared graph for the whole torture matrix (the pools below are
+#: keyed on (procs, executor) and cached for the session, so spawn
+#: startup is paid once, not per Hypothesis example).
+_TORTURE_GRAPH = None
+_TORTURE_POOLS = {}
+
+
+def _torture_graph():
+    global _TORTURE_GRAPH
+    if _TORTURE_GRAPH is None:
+        _TORTURE_GRAPH = get_csr(barabasi_albert(600, 3, rng=19))
+    return _TORTURE_GRAPH
+
+
+def _torture_pool(procs, executor):
+    key = (procs, executor)
+    if key not in _TORTURE_POOLS:
+        _TORTURE_POOLS[key] = ShardedSessionPool(
+            _torture_graph(), procs=procs, executor=executor
+        )
+    return _TORTURE_POOLS[key]
+
+
+@atexit.register
+def _close_torture_pools():
+    for pool in _TORTURE_POOLS.values():
+        pool.close()
+    _TORTURE_POOLS.clear()
+
+
+def rows_fingerprint(rows):
+    """A byte-exact digest of anytime rows: every trace increment's
+    arrays plus the final step counts.  Two executors agree iff their
+    fingerprints agree."""
+    digest = hashlib.sha256()
+    for increments, steps in rows:
+        digest.update(int(steps).to_bytes(8, "little", signed=True))
+        for trace in increments:
+            for name in ("step_sources", "step_targets", "step_walkers",
+                         "visited_array"):
+                part = getattr(trace, name, None)
+                if part is None:
+                    continue
+                digest.update(name.encode())
+                digest.update(np.ascontiguousarray(part).tobytes())
+    return digest.hexdigest()
+
+
+def accumulator_state(graph, rows):
+    """Replicate-ordered streaming-PMF estimates accumulated from the
+    rows' trace increments — the engine-side state the snapshots see."""
+    states = []
+    for increments, _steps in rows:
+        accumulator = StreamingDegreePMF(graph)
+        for trace in increments:
+            accumulator.update(trace)
+        states.append(accumulator.estimate())
+    return states
+
+
+#: The pool-capable sampler families (what `_POOL_SAFE_TYPES` admits).
+TORTURE_SAMPLERS = {
+    "SRW": lambda: SingleRandomWalk(),
+    "MHRW": lambda: MetropolisHastingsWalk(),
+    "MultipleRW": lambda: MultipleRandomWalk(4),
+    "FS": lambda: FrontierSampler(6),
+}
+
+
+@st.composite
+def chunk_schedules(draw):
+    """An ascending steps-schedule — the advance-chunking axis.  The
+    same schedule is pinned on both sides, so even MultipleRW (whose
+    stream is documented chunk-boundary-sensitive) must agree."""
+    count = draw(st.integers(min_value=1, max_value=4))
+    sizes = draw(
+        st.lists(
+            st.integers(min_value=20, max_value=120),
+            min_size=count,
+            max_size=count,
+        )
+    )
+    marks, total = [], 0
+    for size in sizes:
+        total += size
+        marks.append(float(total))
+    return marks
+
+
+class TestExecutorTorture:
+    """Byte-identical rows for every executor, worker count, sampler
+    family and advance-chunking — the determinism contract the thread
+    backend ships under."""
+
+    @given(
+        sampler_key=st.sampled_from(sorted(TORTURE_SAMPLERS)),
+        executor=st.sampled_from(["inline", "thread", "spawn"]),
+        procs=st.sampled_from([1, 2, 4]),
+        marks=chunk_schedules(),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_rows_bit_identical_across_executors(
+        self, sampler_key, executor, procs, marks, seed
+    ):
+        graph = _torture_graph()
+        sampler = TORTURE_SAMPLERS[sampler_key]()
+        if executor == "inline":
+            procs = 1
+        pool = _torture_pool(procs, None if executor == "inline" else executor)
+        rows = list(
+            pool.run_anytime(
+                sampler, marks, 3, root_seed=seed, schedule="steps"
+            )
+        )
+        reference_pool = _torture_pool(1, None)
+        reference = list(
+            reference_pool.run_anytime(
+                sampler, marks, 3, root_seed=seed, schedule="steps"
+            )
+        )
+        assert rows_fingerprint(rows) == rows_fingerprint(reference)
+        assert accumulator_state(graph, rows) == accumulator_state(
+            graph, reference
+        )
+
+    def test_auto_resolves_to_thread_with_native(self):
+        if not _native.available():
+            pytest.skip("native kernels unavailable on this host")
+        assert threads_can_scale()
+        assert resolve_executor("auto") == "thread"
+
+    def test_auto_falls_back_to_spawn_without_native(self, monkeypatch):
+        """The documented heuristic: pure-Python kernels hold the GIL,
+        so auto must not pick threads when native is unavailable
+        (unless the interpreter itself is free-threaded)."""
+        monkeypatch.setenv("REPRO_NO_NATIVE", "1")
+        gil_check = getattr(sys, "_is_gil_enabled", None)
+        if gil_check is not None and not gil_check():
+            assert resolve_executor("auto") == "thread"
+        else:
+            assert not threads_can_scale()
+            assert resolve_executor("auto") == "spawn"
+
+    def test_auto_fallback_rows_match_inline_without_native(
+        self, monkeypatch
+    ):
+        """executor="auto" under REPRO_NO_NATIVE runs real spawn
+        workers (which inherit the env) and still reproduces the
+        inline rows byte for byte."""
+        monkeypatch.setenv("REPRO_NO_NATIVE", "1")
+        graph = _torture_graph()
+        sampler = FrontierSampler(6)
+        marks = [40.0, 90.0]
+        with ShardedSessionPool(graph, procs=2, executor="auto") as pool:
+            assert pool.executor == resolve_executor("auto")
+            rows = list(
+                pool.run_anytime(
+                    sampler, marks, 2, root_seed=5, schedule="steps"
+                )
+            )
+        with ShardedSessionPool(graph, procs=1) as pool:
+            reference = list(
+                pool.run_anytime(
+                    sampler, marks, 2, root_seed=5, schedule="steps"
+                )
+            )
+        assert rows_fingerprint(rows) == rows_fingerprint(reference)
+
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(ValueError, match="executor"):
+            resolve_executor("fork")
+        with pytest.raises(ValueError, match="executor"):
+            ShardedSessionPool(_torture_graph(), procs=2, executor="fork")
+
+    def test_run_plan_executor_requires_procs(self):
+        from repro.experiments.engine import ExperimentPlan, run_plan
+
+        plan = ExperimentPlan(
+            title="executor validation",
+            graph=_torture_graph(),
+            samplers={"FS": FrontierSampler(4)},
+            budgets=[50.0],
+        )
+        with pytest.raises(ValueError, match="procs"):
+            run_plan(plan, 1, executor="thread")
+        with pytest.raises(ValueError, match="executor"):
+            run_plan(plan, 1, procs=2, executor="fork")

@@ -17,7 +17,10 @@ The contract under test (see ``sampling/sharded.py``):
 
 The real-spawn tests default to 2 worker processes; CI's 4-proc smoke
 leg sets ``REPRO_SHARD_PROCS=4`` to cover a wider pool under spawn
-start-method semantics (what macOS/Windows use by default).
+start-method semantics (what macOS/Windows use by default), and its
+thread leg sets ``REPRO_EXECUTOR=thread`` to re-run the same parity
+checks with the fan-out on a thread pool over the in-process graph
+(no spill, no pickling — same traces).
 """
 
 from __future__ import annotations
@@ -47,6 +50,9 @@ from repro.util.rng import child_rng
 
 #: Worker count for the real-spawn tests (CI's smoke leg sets 4).
 SPAWN_PROCS = int(os.environ.get("REPRO_SHARD_PROCS", "2"))
+#: Executor override for the fan-out tests (CI's thread leg sets
+#: "thread"); None keeps the legacy spawn default.
+EXECUTOR = os.environ.get("REPRO_EXECUTOR") or None
 
 
 @pytest.fixture(scope="module")
@@ -180,14 +186,20 @@ class TestDeterminism:
 class TestSpawnPool:
     def test_spawn_pool_matches_inline(self, graph):
         """Real worker processes over the temp-spilled mmap'd graph."""
-        pooled_sampler = ShardedFrontierSampler(6, procs=SPAWN_PROCS)
+        pooled_sampler = ShardedFrontierSampler(
+            6, procs=SPAWN_PROCS, executor=EXECUTOR
+        )
         with pooled_sampler.start(graph, rng=7) as session:
             session.advance_budget(220)
             pooled = session.trace()
-            # The graph was spilled for sharing; close() must clean up.
             spill = session._spill_dir
-            assert spill is not None and spill.exists()
-        assert not spill.exists()
+            if session.executor == "spawn":
+                # The graph was spilled for sharing; close() cleans up.
+                assert spill is not None and spill.exists()
+            else:
+                # Threads read the in-process CSR: nothing to spill.
+                assert spill is None
+        assert spill is None or not spill.exists()
         inline = inline_sampler(6, procs=SPAWN_PROCS).start(graph, rng=7)
         inline.advance_budget(220)
         assert_traces_equal(pooled, inline.trace())
@@ -196,9 +208,9 @@ class TestSpawnPool:
     def test_spawn_pool_reuses_file_backed_graph(self, csr, tmp_path):
         save_csr_npy(csr, tmp_path / "g")
         mapped = load_csr_npy(tmp_path / "g", mmap=True)
-        with ShardedFrontierSampler(4, procs=SPAWN_PROCS).start(
-            mapped, rng=3
-        ) as session:
+        with ShardedFrontierSampler(
+            4, procs=SPAWN_PROCS, executor=EXECUTOR
+        ).start(mapped, rng=3) as session:
             session.advance(100)
             assert session._spill_dir is None  # shared in place
             pooled = session.trace()
@@ -334,7 +346,9 @@ class TestSessionPool:
         sampler = FrontierSampler(4)
         with ShardedSessionPool(graph, procs=1) as pool:
             inline = pool.run(sampler, 120, runs=4, root_seed=9)
-        with ShardedSessionPool(graph, procs=SPAWN_PROCS) as pool:
+        with ShardedSessionPool(
+            graph, procs=SPAWN_PROCS, executor=EXECUTOR
+        ) as pool:
             pooled = pool.run(sampler, 120, runs=4, root_seed=9)
         for a, b in zip(inline, pooled):
             assert a.edges == b.edges
@@ -363,7 +377,8 @@ class TestSessionPool:
         sampler = SingleRandomWalk()
         serial = replicate_traces(sampler, graph, 100, runs=3, root_seed=4)
         fanned = replicate_traces(
-            sampler, graph, 100, runs=3, root_seed=4, procs=SPAWN_PROCS
+            sampler, graph, 100, runs=3, root_seed=4,
+            procs=SPAWN_PROCS, executor=EXECUTOR,
         )
         for a, b in zip(serial, fanned):
             assert a.edges == b.edges
