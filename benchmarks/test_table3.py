@@ -14,7 +14,7 @@ def test_table3(benchmark, save_result):
     assert len(result.rows) == 2
     for row in result.rows:
         # every method lands near C (the paper: "small difference"),
-        for method, mean in row.mean_estimate.items():
+        for _method, mean in row.mean_estimate.items():
             assert abs(mean - row.true_c) < 0.6 * row.true_c + 0.05
         # and FS beats MultipleRW on every graph (the paper's Table 3
         # ordering; FS vs SingleRW is a tie on the connected graph).

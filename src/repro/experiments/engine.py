@@ -51,6 +51,7 @@ Backend semantics:
 
 from __future__ import annotations
 
+import random
 from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import (
@@ -147,7 +148,7 @@ def default_budget_schedule(budget: float, points: int = 8) -> List[float]:
     return [budget * (i + 1) / points for i in range(points)]
 
 
-def _pool_capable(sampler) -> bool:
+def _pool_capable(sampler: Any) -> bool:
     """Whether ``sampler`` may run inside spawn workers over shared CSR."""
     if not isinstance(sampler, _POOL_SAFE_TYPES):
         return False
@@ -159,7 +160,7 @@ def _pool_capable(sampler) -> bool:
 # ----------------------------------------------------------------------
 # trace collection for batch estimators
 # ----------------------------------------------------------------------
-def concat_traces(traces: Sequence) -> Any:
+def concat_traces(traces: Sequence[Any]) -> Any:
     """Concatenate trace increments into one trace of the same type.
 
     Supports both backends' walk traces (including the Metropolis
@@ -261,11 +262,11 @@ class TraceCollector:
     instead.
     """
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._increments: List[Any] = []
         self._merged: Any = None
 
-    def update(self, increment) -> "TraceCollector":
+    def update(self, increment: Any) -> "TraceCollector":
         self._increments.append(increment)
         self._merged = None
         return self
@@ -274,7 +275,7 @@ class TraceCollector:
     def increments(self) -> List[Any]:
         return list(self._increments)
 
-    def trace(self):
+    def trace(self) -> Any:
         if not self._increments:
             raise ValueError("no increments collected; cannot form a trace")
         if len(self._increments) == 1:
@@ -284,7 +285,7 @@ class TraceCollector:
         return self._merged
 
 
-def _collector_snapshot(method: str, accumulator, checkpoint: float):
+def _collector_snapshot(method: str, accumulator: Any, checkpoint: float) -> Any:
     """Default snapshot: the cumulative trace at the checkpoint."""
     return accumulator.trace()
 
@@ -333,14 +334,14 @@ class ExperimentPlan:
     starter: Optional[Union[Starter, Mapping[str, Starter]]] = None
     backend: Optional[Backend] = None
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         check_backend(self.backend)
         if self.schedule not in ("budget", "steps"):
             raise ValueError(
                 f"schedule must be 'budget' or 'steps', got {self.schedule!r}"
             )
 
-    def resolve_graph(self):
+    def resolve_graph(self) -> Any:
         """The graph object (invokes a factory input exactly once)."""
         return self.graph() if callable(self.graph) else self.graph
 
@@ -380,7 +381,7 @@ class ExperimentPlan:
             return self.starter.get(method, default_starter)
         return self.starter
 
-    def accumulator_for(self, method: str):
+    def accumulator_for(self, method: str) -> Any:
         factory = (
             self.accumulator
             if self.accumulator is not None
@@ -460,8 +461,8 @@ class PlanResult:
 # execution
 # ----------------------------------------------------------------------
 def _replicate_anytime(
-    sampler,
-    graph,
+    sampler: Any,
+    graph: Any,
     checkpoints: List[float],
     replicates: int,
     seed: int,
@@ -579,7 +580,7 @@ def run_plan(
             )
             for increments, steps in raw:
                 accumulator = plan.accumulator_for(method)
-                row = []
+                row: List[Any] = []
                 for checkpoint, increment in zip(checkpoints, increments):
                     accumulator.update(increment)
                     row.append(snapshot(method, accumulator, checkpoint))
@@ -595,7 +596,12 @@ def run_plan(
 # ----------------------------------------------------------------------
 # the bare replication primitives (what experiments.runner wraps)
 # ----------------------------------------------------------------------
-def map_replicates(run, runs: int, root_seed: int = 0, backend=None) -> List:
+def map_replicates(
+    run: Callable[[random.Random], Any],
+    runs: int,
+    root_seed: int = 0,
+    backend: Optional[Backend] = None,
+) -> List[Any]:
     """``[run(child_rng(root_seed, i)) for i in range(runs)]`` with an
     optional pinned backend — the engine's bare in-process replication
     core.  Prefer :func:`run_plan` for experiments; this primitive
@@ -608,13 +614,13 @@ def map_replicates(run, runs: int, root_seed: int = 0, backend=None) -> List:
 
 
 def map_incremental(
-    start,
-    measure,
+    start: Callable[[random.Random], Any],
+    measure: Callable[[Any, float], Any],
     budgets: Checkpoints,
     runs: int,
     root_seed: int = 0,
-    backend=None,
-) -> List[List]:
+    backend: Optional[Backend] = None,
+) -> List[List[Any]]:
     """Anytime replication over caller-managed sessions.
 
     For each of ``runs`` child streams, ``start(rng)`` opens a session
@@ -632,11 +638,11 @@ def map_incremental(
     if any(b > a for b, a in zip(checkpoints, checkpoints[1:])):
         raise ValueError(f"budgets must be non-decreasing, got {budgets}")
     context = use_backend(backend) if backend is not None else nullcontext()
-    results: List[List] = []
+    results: List[List[Any]] = []
     with context:
         for index in range(runs):
             session = start(child_rng(root_seed, index))
-            row = []
+            row: List[Any] = []
             for budget in checkpoints:
                 session.advance_budget(budget)
                 row.append(measure(session, budget))

@@ -686,11 +686,11 @@ def load_suite(path) -> SuiteSpec:
     try:
         text = path.read_text(encoding="utf-8")
     except OSError as error:
-        raise SuiteSpecError(str(path), f"cannot read spec: {error}")
+        raise SuiteSpecError(str(path), f"cannot read spec: {error}") from error
     try:
         data = yaml.safe_load(text)
     except yaml.YAMLError as error:
-        raise SuiteSpecError(str(path), f"invalid YAML: {error}")
+        raise SuiteSpecError(str(path), f"invalid YAML: {error}") from error
     spec = parse_suite(data, source=path.name)
     spec.path = path
     return spec

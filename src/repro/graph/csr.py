@@ -47,7 +47,7 @@ class CSRGraph:
         indptr: np.ndarray,
         indices: np.ndarray,
         validate: bool = True,
-    ):
+    ) -> None:
         indptr = np.ascontiguousarray(indptr, dtype=np.int64)
         indices = np.ascontiguousarray(indices, dtype=np.int64)
         if indptr.ndim != 1 or indices.ndim != 1:

@@ -10,6 +10,17 @@ get ``None`` and the engine falls back to the pure-Python kernels,
 which implement the identical draw protocol (traces are bit-for-bit
 the same either way — only the speed differs).
 
+Signature contract: every kernel is declared once in
+:data:`_DECLARATIONS` using the canonical type tokens of
+:mod:`repro.sampling._cproto` and verified against the ``repro_*``
+prototypes parsed out of ``_kernels.c`` *before* ``argtypes`` are
+assigned.  A drifted declaration — an edit to one side that forgot the
+other, or an out-of-tree build exporting a different arity — raises a
+readable :class:`KernelSignatureError` naming the kernel and both
+signatures instead of corrupting memory through a mis-declared foreign
+call.  ``repro-lint`` rule RPL004 enforces the same agreement
+statically in CI.
+
 Thread contract: ``ctypes`` releases the GIL for the duration of
 every foreign call, so kernel calls from concurrent threads overlap
 on real cores.  That is only sound because the kernels are stateless
@@ -30,22 +41,113 @@ import subprocess
 import tempfile
 import threading
 from pathlib import Path
-from typing import Optional
+from typing import Dict, Optional, Tuple
 
 import numpy as np
+
+from repro.sampling._cproto import parse_prototypes
 
 _SOURCE = Path(__file__).with_name("_kernels.c")
 
 _I64P = ctypes.POINTER(ctypes.c_int64)
 _DP = ctypes.POINTER(ctypes.c_double)
 
+#: Canonical signature token (see ``_cproto``) -> ctypes object.
+_CTYPES: Dict[str, object] = {
+    "void": None,
+    "i64": ctypes.c_int64,
+    "f64": ctypes.c_double,
+    "i64*": _I64P,
+    "f64*": _DP,
+}
+
+#: The Python-side kernel declarations: ``name -> (restype, argtypes)``
+#: in canonical tokens.  This table is the single source the ctypes
+#: ``argtypes``/``restype`` assignments are derived from, and the one
+#: RPL004 (and :func:`_check_declarations` at load time) diffs against
+#: the C prototypes.
+_DECLARATIONS: Dict[str, Tuple[str, Tuple[str, ...]]] = {
+    "repro_rw_steps": (
+        "void",
+        ("i64*", "i64*", "i64", "i64", "f64*", "i64*", "i64*"),
+    ),
+    "repro_fs_steps": (
+        "i64",
+        (
+            "i64*", "i64*", "i64*", "i64", "i64",
+            "i64", "f64*", "i64*", "i64*", "i64*",
+        ),
+    ),
+    "repro_mh_steps": (
+        "i64",
+        ("i64*", "i64*", "i64", "i64", "f64*", "i64*", "i64*", "i64*"),
+    ),
+}
+
 #: tri-state: None = not attempted yet; False = unavailable;
 #: ctypes.CDLL = loaded.
-_LIB: object = None
+_LIB: Optional[ctypes.CDLL] = None
 _ATTEMPTED = False
 #: Serializes the first compile-and-load so concurrent threads cannot
 #: race the lazy initialization (one compiles, the rest wait).
 _LOAD_LOCK = threading.Lock()
+
+
+class KernelSignatureError(RuntimeError):
+    """A ctypes declaration disagrees with the ``_kernels.c`` prototype.
+
+    Raised *before* any foreign call is made: calling a kernel through
+    a wrong ``argtypes`` list would pass garbage pointers and corrupt
+    memory, so a mismatch must fail loudly at load time.
+    """
+
+
+def _check_declarations(
+    declarations: Dict[str, Tuple[str, Tuple[str, ...]]],
+    source_text: str,
+) -> None:
+    """Verify every declared kernel against the C source's prototype.
+
+    The dynamic mirror of repro-lint RPL004 — it runs on whatever
+    source is actually about to be compiled and called, so out-of-tree
+    kernel builds get the same protection as the committed tree.
+    """
+    prototypes = parse_prototypes(source_text, origin=str(_SOURCE))
+    for name, (restype, argtypes) in declarations.items():
+        prototype = prototypes.get(name)
+        if prototype is None:
+            raise KernelSignatureError(
+                f"kernel {name!r} is declared in _native.py but"
+                f" {_SOURCE.name} defines no such prototype"
+            )
+        declared = f"{restype} {name}({', '.join(argtypes)})"
+        if len(argtypes) != len(prototype.argtypes):
+            raise KernelSignatureError(
+                f"kernel {name!r}: arity mismatch — _native.py declares"
+                f" {len(argtypes)} argument(s) [{declared}] but"
+                f" {_SOURCE.name}:{prototype.line} defines"
+                f" {len(prototype.argtypes)} [{prototype.render()}]"
+            )
+        if restype != prototype.restype or argtypes != prototype.argtypes:
+            raise KernelSignatureError(
+                f"kernel {name!r}: type mismatch — _native.py declares"
+                f" [{declared}] but {_SOURCE.name}:{prototype.line}"
+                f" defines [{prototype.render()}]"
+            )
+
+
+def _declare(lib: ctypes.CDLL) -> None:
+    """Assign verified ``restype``/``argtypes`` to every kernel."""
+    for name, (restype, argtypes) in _DECLARATIONS.items():
+        try:
+            function = getattr(lib, name)
+        except AttributeError as exc:
+            raise KernelSignatureError(
+                f"compiled kernel library exports no symbol {name!r};"
+                " the loaded .so does not match _kernels.c"
+            ) from exc
+        function.restype = _CTYPES[restype]
+        function.argtypes = [_CTYPES[token] for token in argtypes]
 
 
 def _cache_dir() -> Path:
@@ -64,6 +166,9 @@ def _compile_and_load() -> Optional[ctypes.CDLL]:
     if compiler is None:
         return None
     source_text = _SOURCE.read_text(encoding="utf-8")
+    # Fail before compiling (and before any foreign call is possible)
+    # if the Python-side declarations drifted from the C prototypes.
+    _check_declarations(_DECLARATIONS, source_text)
     digest = hashlib.sha256(source_text.encode("utf-8")).hexdigest()[:16]
     directory = _cache_dir()
     library = directory / f"kernels-{digest}.so"
@@ -95,25 +200,19 @@ def _compile_and_load() -> Optional[ctypes.CDLL]:
             if os.path.exists(temp_name):
                 os.unlink(temp_name)
     lib = ctypes.CDLL(str(library))
-    lib.repro_rw_steps.restype = None
-    lib.repro_rw_steps.argtypes = [
-        _I64P, _I64P, ctypes.c_int64, ctypes.c_int64, _DP, _I64P, _I64P,
-    ]
-    lib.repro_fs_steps.restype = ctypes.c_int64
-    lib.repro_fs_steps.argtypes = [
-        _I64P, _I64P, _I64P, ctypes.c_int64, ctypes.c_int64,
-        ctypes.c_int64, _DP, _I64P, _I64P, _I64P,
-    ]
-    lib.repro_mh_steps.restype = ctypes.c_int64
-    lib.repro_mh_steps.argtypes = [
-        _I64P, _I64P, ctypes.c_int64, ctypes.c_int64, _DP,
-        _I64P, _I64P, _I64P,
-    ]
+    _declare(lib)
     return lib
 
 
 def load() -> Optional[ctypes.CDLL]:
-    """The kernel library, or ``None`` when native is unavailable."""
+    """The kernel library, or ``None`` when native is unavailable.
+
+    Compile/load failures degrade to the pure-Python fallback —
+    except a :class:`KernelSignatureError`, which always propagates:
+    a signature mismatch means the declarations in this module are
+    wrong, and silently falling back would hide the defect from every
+    native-capable host.
+    """
     global _LIB, _ATTEMPTED
     if os.environ.get("REPRO_NO_NATIVE"):
         return None
@@ -122,27 +221,54 @@ def load() -> Optional[ctypes.CDLL]:
             if not _ATTEMPTED:
                 try:
                     _LIB = _compile_and_load()
+                except KernelSignatureError:
+                    _ATTEMPTED = True
+                    raise
                 except Exception:
                     _LIB = None
                 _ATTEMPTED = True
-    return _LIB  # type: ignore[return-value]
+    return _LIB
 
 
 def available() -> bool:
     return load() is not None
 
 
-def _i64(array: np.ndarray):
+def _lib() -> ctypes.CDLL:
+    """The loaded library; raises instead of returning ``None``.
+
+    The wrappers below are only reachable when a caller already chose
+    the native path, so an unavailable library here is a programming
+    error — fail with a readable message rather than an
+    ``AttributeError`` on ``None``.
+    """
+    lib = load()
+    if lib is None:
+        raise RuntimeError(
+            "native kernels are unavailable (no compiler, failed"
+            " compile, or REPRO_NO_NATIVE is set); use the pure-Python"
+            " kernels instead"
+        )
+    return lib
+
+
+def _i64(array: np.ndarray) -> "ctypes._Pointer[ctypes.c_int64]":
     return array.ctypes.data_as(_I64P)
 
 
-def _f64(array: np.ndarray):
+def _f64(array: np.ndarray) -> "ctypes._Pointer[ctypes.c_double]":
     return array.ctypes.data_as(_DP)
 
 
-def rw_steps(indptr, indices, start, steps, uniforms):
+def rw_steps(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    start: int,
+    steps: int,
+    uniforms: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
     """Native simple-random-walk steps; returns ``(out_u, out_v)``."""
-    lib = load()
+    lib = _lib()
     out_u = np.empty(steps, dtype=np.int64)
     out_v = np.empty(steps, dtype=np.int64)
     lib.repro_rw_steps(
@@ -152,12 +278,19 @@ def rw_steps(indptr, indices, start, steps, uniforms):
     return out_u, out_v
 
 
-def fs_steps(indptr, indices, frontier, steps, degree_selection, uniforms):
+def fs_steps(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    frontier: np.ndarray,
+    steps: int,
+    degree_selection: bool,
+    uniforms: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Native FS steps; mutates ``frontier`` in place.
 
     Returns ``(out_u, out_v, out_idx)``.
     """
-    lib = load()
+    lib = _lib()
     out_u = np.empty(steps, dtype=np.int64)
     out_v = np.empty(steps, dtype=np.int64)
     out_idx = np.empty(steps, dtype=np.int64)
@@ -171,9 +304,15 @@ def fs_steps(indptr, indices, frontier, steps, degree_selection, uniforms):
     return out_u, out_v, out_idx
 
 
-def mh_steps(indptr, indices, start, steps, uniforms):
+def mh_steps(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    start: int,
+    steps: int,
+    uniforms: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Native MH walk; returns ``(edge_u, edge_v, visited)``."""
-    lib = load()
+    lib = _lib()
     out_eu = np.empty(steps, dtype=np.int64)
     out_ev = np.empty(steps, dtype=np.int64)
     out_visited = np.empty(steps, dtype=np.int64)

@@ -19,6 +19,7 @@ from repro.graph.csr import CSRGraph
 from repro.graph.graph import Graph
 from repro.util.alias import AliasTable
 from repro.util.backends import VALID_BACKENDS, check_backend_name
+from repro.util.reentrancy import non_reentrant
 from repro.util.rng import RngLike
 
 Edge = Tuple[int, int]
@@ -57,6 +58,7 @@ def check_backend(backend: Optional[Backend]) -> Optional[Backend]:
     return _require_backend(backend)
 
 
+@non_reentrant("swaps the process-wide default backend")
 def set_default_backend(backend: Backend) -> None:
     """Set the process-wide backend used when samplers don't pin one.
 
@@ -72,6 +74,7 @@ def get_default_backend() -> Backend:
     return _default_backend
 
 
+@non_reentrant("swaps the process-wide default backend for its scope")
 @contextmanager
 def use_backend(backend: Backend):
     """Temporarily switch the default backend (restores on exit)."""

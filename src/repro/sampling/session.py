@@ -42,7 +42,8 @@ import copy
 import heapq
 import pickle
 from pathlib import Path
-from typing import List, Optional, Sequence, Tuple, Union
+import random
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -68,7 +69,7 @@ from repro.util.rng import RngLike, child_rng, ensure_np_rng, ensure_rng
 PathLike = Union[str, Path]
 
 
-def _graph_signature(graph) -> Tuple[int, int, Optional[int]]:
+def _graph_signature(graph: Any) -> Tuple[int, int, Optional[int]]:
     """(num_vertices, num_edges, version) — the resume compatibility check.
 
     ``version`` is the graph's mutation counter
@@ -83,7 +84,9 @@ def _graph_signature(graph) -> Tuple[int, int, Optional[int]]:
     return (graph.num_vertices, graph.num_edges, version)
 
 
-def _signatures_compatible(expected, actual) -> bool:
+def _signatures_compatible(
+    expected: Sequence[Any], actual: Sequence[Any]
+) -> bool:
     """Whether a checkpoint signature accepts the attach candidate.
 
     Counts must always match.  The version field is compared only when
@@ -120,7 +123,9 @@ class SamplerSession(abc.ABC):
     #: being pickled (csr fast forms, alias tables, ...).
     _UNPICKLED: Tuple[str, ...] = ()
 
-    def __init__(self, sampler, graph, initial_vertices: List[int]):
+    def __init__(
+        self, sampler: Any, graph: Any, initial_vertices: List[int]
+    ) -> None:
         self.sampler = sampler
         self.method = sampler.name
         self.seed_cost = float(getattr(sampler, "seed_cost", 0.0))
@@ -141,7 +146,7 @@ class SamplerSession(abc.ABC):
     # core protocol
     # ------------------------------------------------------------------
     @property
-    def graph(self):
+    def graph(self) -> Any:
         """The attached graph (``None`` on a detached checkpoint)."""
         return self._graph
 
@@ -154,7 +159,7 @@ class SamplerSession(abc.ABC):
         """Take ``steps`` more walk steps, appending to the record."""
 
     @abc.abstractmethod
-    def trace(self):
+    def trace(self) -> Any:
         """The retained step record as this sampler's trace type.
 
         Covers every step since the session started — or since the
@@ -206,7 +211,7 @@ class SamplerSession(abc.ABC):
         )
         return delta
 
-    def take_trace(self):
+    def take_trace(self) -> Any:
         """Drain: return the trace increment since the last drain.
 
         Hands the retained step record to the caller (for streaming
@@ -244,7 +249,7 @@ class SamplerSession(abc.ABC):
     # checkpoint / resume
     # ------------------------------------------------------------------
     @property
-    def state(self) -> dict:
+    def state(self) -> Dict[str, Any]:
         """Picklable snapshot view of the session (graph excluded).
 
         Walker positions, frontier weights, RNG state and the retained
@@ -254,7 +259,7 @@ class SamplerSession(abc.ABC):
         """
         return self.__getstate__()
 
-    def snapshot(self) -> dict:
+    def snapshot(self) -> Dict[str, Any]:
         """A *deep-copied* picklable snapshot of the session.
 
         Unlike :attr:`state` — a cheap view sharing mutable members
@@ -268,7 +273,7 @@ class SamplerSession(abc.ABC):
         """
         return copy.deepcopy(self.__getstate__())
 
-    def __getstate__(self) -> dict:
+    def __getstate__(self) -> Dict[str, Any]:
         state = self.__dict__.copy()
         if self._graph is not None:
             state["_graph_signature"] = _graph_signature(self._graph)
@@ -282,7 +287,7 @@ class SamplerSession(abc.ABC):
         with open(path, "wb") as handle:
             pickle.dump(self, handle, protocol=pickle.HIGHEST_PROTOCOL)
 
-    def attach(self, graph) -> None:
+    def attach(self, graph: Any) -> None:
         """Re-attach ``graph`` to a checkpoint loaded from disk.
 
         The graph must be the one the session was started on (same
@@ -307,7 +312,7 @@ class SamplerSession(abc.ABC):
         self._graph = graph
         self._reattach(graph)
 
-    def _reattach(self, graph) -> None:
+    def _reattach(self, graph: Any) -> None:
         """Hook: rebuild graph-derived state dropped by ``_UNPICKLED``."""
 
     def __repr__(self) -> str:
@@ -317,7 +322,9 @@ class SamplerSession(abc.ABC):
         )
 
 
-def default_session_starter(sampler, graph, root_seed: int, index: int):
+def default_session_starter(
+    sampler: Any, graph: Any, root_seed: int, index: int
+) -> SamplerSession:
     """Open replicate ``index``'s session on its ``child_rng`` stream.
 
     THE replicate-stream derivation — the one
@@ -334,7 +341,7 @@ def drain_session_checkpoints(
     session: SamplerSession,
     schedule: str,
     checkpoints: Sequence[float],
-) -> Tuple[list, int]:
+) -> Tuple[List[Any], int]:
     """Advance ``session`` through ``checkpoints``, draining each one.
 
     ``schedule="budget"`` advances with ``advance_budget(checkpoint)``;
@@ -351,7 +358,7 @@ def drain_session_checkpoints(
     a statistics-invariant deployment knob.
     """
     try:
-        increments = []
+        increments: List[Any] = []
         for checkpoint in checkpoints:
             if schedule == "steps":
                 session.advance(
@@ -367,7 +374,7 @@ def drain_session_checkpoints(
             closer()
 
 
-def load_session(path: PathLike, graph) -> SamplerSession:
+def load_session(path: PathLike, graph: Any) -> SamplerSession:
     """Load a checkpoint written by :meth:`SamplerSession.save`.
 
     ``graph`` must be the graph the session was started on; resumed
@@ -392,7 +399,13 @@ class _ListSession(SamplerSession):
 
     _with_walkers = False  # record per-walker grouping + indices?
 
-    def __init__(self, sampler, graph, initial_vertices, rng):
+    def __init__(
+        self,
+        sampler: Any,
+        graph: Any,
+        initial_vertices: List[int],
+        rng: random.Random,
+    ) -> None:
         super().__init__(sampler, graph, initial_vertices)
         self.rng = rng
         self._edges: List[Edge] = []
@@ -440,11 +453,11 @@ class SingleWalkSession(_ListSession):
 
     def __init__(
         self,
-        sampler,
-        graph,
+        sampler: Any,
+        graph: Any,
         rng: RngLike = None,
         initial_vertices: Optional[Sequence[int]] = None,
-    ):
+    ) -> None:
         generator = ensure_rng(rng)
         if initial_vertices is None:
             seeds = make_seeds(graph, 1, sampler.seeding, generator)
@@ -480,11 +493,11 @@ class MultipleWalkSession(_ListSession):
 
     def __init__(
         self,
-        sampler,
-        graph,
+        sampler: Any,
+        graph: Any,
         rng: RngLike = None,
         initial_vertices: Optional[Sequence[int]] = None,
-    ):
+    ) -> None:
         generator = ensure_rng(rng)
         if initial_vertices is None:
             seeds = make_seeds(
@@ -523,11 +536,11 @@ class FrontierWalkSession(_ListSession):
 
     def __init__(
         self,
-        sampler,
-        graph,
+        sampler: Any,
+        graph: Any,
         rng: RngLike = None,
         initial_vertices: Optional[Sequence[int]] = None,
-    ):
+    ) -> None:
         generator = ensure_rng(rng)
         if initial_vertices is None:
             seeds = make_seeds(
@@ -568,11 +581,11 @@ class DistributedWalkSession(_ListSession):
 
     def __init__(
         self,
-        sampler,
-        graph,
+        sampler: Any,
+        graph: Any,
         rng: RngLike = None,
         initial_vertices: Optional[Sequence[int]] = None,
-    ):
+    ) -> None:
         generator = ensure_rng(rng)
         if initial_vertices is not None:
             seeds = [int(v) for v in initial_vertices]
@@ -606,7 +619,9 @@ class DistributedWalkSession(_ListSession):
 class MetropolisWalkSession(_ListSession):
     """MRW: accepted edges plus the full visit sequence (incl. holds)."""
 
-    def __init__(self, sampler, graph, rng: RngLike = None):
+    def __init__(
+        self, sampler: Any, graph: Any, rng: RngLike = None
+    ) -> None:
         generator = ensure_rng(rng)
         seeds = make_seeds(graph, 1, sampler.seeding, generator)
         super().__init__(sampler, graph, seeds, generator)
@@ -669,7 +684,9 @@ class _ArraySession(SamplerSession):
     _UNPICKLED = ("_fast",)
     _with_walkers = False
 
-    def __init__(self, sampler, graph, rng, native: Optional[bool]):
+    def __init__(
+        self, sampler: Any, graph: Any, rng: RngLike, native: Optional[bool]
+    ) -> None:
         self._native = native
         self._fast = _fast_form(graph, native)
         generator = ensure_np_rng(rng)
@@ -682,7 +699,9 @@ class _ArraySession(SamplerSession):
             [] if self._with_walkers else None
         )
 
-    def _draw_seeds(self, sampler, generator) -> List[int]:
+    def _draw_seeds(
+        self, sampler: Any, generator: np.random.Generator
+    ) -> List[int]:
         return vectorized.make_seeds_np(
             self._fast, 1, sampler.seeding, generator
         )
@@ -721,7 +740,7 @@ class _ArraySession(SamplerSession):
         if self._walker_chunks is not None:
             self._walker_chunks = []
 
-    def _reattach(self, graph) -> None:
+    def _reattach(self, graph: Any) -> None:
         self._fast = _fast_form(graph, self._native)
 
 
@@ -730,12 +749,12 @@ class ArraySingleSession(_ArraySession):
 
     def __init__(
         self,
-        sampler,
-        graph,
+        sampler: Any,
+        graph: Any,
         rng: RngLike = None,
-        native=None,
+        native: Optional[bool] = None,
         initial_vertices: Optional[Sequence[int]] = None,
-    ):
+    ) -> None:
         self._pinned_seeds = (
             None
             if initial_vertices is None
@@ -747,7 +766,9 @@ class ArraySingleSession(_ArraySession):
             self._fast, [self.position], "SingleRW cannot walk from it"
         )
 
-    def _draw_seeds(self, sampler, generator) -> List[int]:
+    def _draw_seeds(
+        self, sampler: Any, generator: np.random.Generator
+    ) -> List[int]:
         if self._pinned_seeds is not None:
             return self._pinned_seeds
         return super()._draw_seeds(sampler, generator)
@@ -768,12 +789,12 @@ class ArrayMultipleSession(_ArraySession):
 
     def __init__(
         self,
-        sampler,
-        graph,
+        sampler: Any,
+        graph: Any,
         rng: RngLike = None,
-        native=None,
+        native: Optional[bool] = None,
         initial_vertices: Optional[Sequence[int]] = None,
-    ):
+    ) -> None:
         self._pinned_seeds = (
             None
             if initial_vertices is None
@@ -785,7 +806,9 @@ class ArrayMultipleSession(_ArraySession):
             self._fast, self.positions, "MultipleRW cannot walk from it"
         )
 
-    def _draw_seeds(self, sampler, generator) -> List[int]:
+    def _draw_seeds(
+        self, sampler: Any, generator: np.random.Generator
+    ) -> List[int]:
         if self._pinned_seeds is not None:
             return self._pinned_seeds
         return vectorized.make_seeds_np(
@@ -810,12 +833,12 @@ class ArrayFrontierSession(_ArraySession):
 
     def __init__(
         self,
-        sampler,
-        graph,
+        sampler: Any,
+        graph: Any,
         rng: RngLike = None,
-        native=None,
+        native: Optional[bool] = None,
         initial_vertices: Optional[Sequence[int]] = None,
-    ):
+    ) -> None:
         self._pinned_seeds = (
             None
             if initial_vertices is None
@@ -830,7 +853,9 @@ class ArrayFrontierSession(_ArraySession):
             self._fast, self.frontier, "FS cannot walk from it"
         )
 
-    def _draw_seeds(self, sampler, generator) -> List[int]:
+    def _draw_seeds(
+        self, sampler: Any, generator: np.random.Generator
+    ) -> List[int]:
         if self._pinned_seeds is not None:
             return self._pinned_seeds
         return vectorized.make_seeds_np(
@@ -859,7 +884,13 @@ class ArrayFrontierSession(_ArraySession):
 class ArrayMetropolisSession(_ArraySession):
     """MRW on the csr backend."""
 
-    def __init__(self, sampler, graph, rng: RngLike = None, native=None):
+    def __init__(
+        self,
+        sampler: Any,
+        graph: Any,
+        rng: RngLike = None,
+        native: Optional[bool] = None,
+    ) -> None:
         super().__init__(sampler, graph, rng, native)
         self.position = self.initial_vertices[0]
         self._visited_chunks: List[np.ndarray] = []
@@ -897,7 +928,9 @@ class ArrayMetropolisSession(_ArraySession):
 class VertexSampleSession(SamplerSession):
     """RandomVertex: ``advance(steps)`` spends that many id probes."""
 
-    def __init__(self, sampler, graph, rng: RngLike = None):
+    def __init__(
+        self, sampler: Any, graph: Any, rng: RngLike = None
+    ) -> None:
         if graph.num_vertices == 0:
             raise ValueError("graph has no vertices")
         super().__init__(sampler, graph, [])
@@ -936,7 +969,9 @@ class EdgeSampleSession(SamplerSession):
 
     _UNPICKLED = ("_degree_table",)
 
-    def __init__(self, sampler, graph, rng: RngLike = None):
+    def __init__(
+        self, sampler: Any, graph: Any, rng: RngLike = None
+    ) -> None:
         if graph.num_edges == 0:
             raise ValueError("graph has no edges")
         super().__init__(sampler, graph, [])
@@ -977,5 +1012,5 @@ class EdgeSampleSession(SamplerSession):
     def _clear_record(self) -> None:
         self._edges = []
 
-    def _reattach(self, graph) -> None:
+    def _reattach(self, graph: Any) -> None:
         self._degree_table = AliasTable(graph.degrees())

@@ -51,7 +51,16 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from functools import partial
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import (
+    Any,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
@@ -77,6 +86,7 @@ from repro.sampling.vectorized import (
     make_seeds_np,
     run_random_walk,
 )
+from repro.util.reentrancy import non_reentrant, thread_core
 from repro.util.rng import NpRngLike, child_rng
 
 #: Default per-walker event-generation block (steps).  The block size
@@ -145,6 +155,8 @@ def resolve_executor(executor: Optional[str]) -> str:
 def _root_entropy(rng: NpRngLike) -> int:
     """A 64-bit root entropy from any accepted RNG-ish input."""
     if rng is None:
+        # repro-lint: disable=RPL005 -- rng=None explicitly requests a
+        # fresh OS-entropy root; every deterministic path passes a seed.
         return int.from_bytes(os.urandom(8), "little")
     if isinstance(rng, np.random.Generator):
         return int(rng.integers(0, 1 << 63))
@@ -240,6 +252,7 @@ _WORKER_CSR: Optional[CSRGraph] = None
 _WORKER_NATIVE: Optional[bool] = None
 
 
+@non_reentrant("writes the per-process worker globals _WORKER_CSR/_WORKER_NATIVE")
 def _worker_init(stem: str, native: Optional[bool]) -> None:
     """Pool initializer: reopen the shared graph read-only via mmap."""
     global _WORKER_CSR, _WORKER_NATIVE
@@ -247,6 +260,7 @@ def _worker_init(stem: str, native: Optional[bool]) -> None:
     _WORKER_NATIVE = native
 
 
+@thread_core
 def _shard_advance_task(
     csr: CSRGraph,
     native: Optional[bool],
@@ -263,7 +277,12 @@ def _shard_advance_task(
     return out
 
 
-def _sample_task(csr: CSRGraph, native: Optional[bool], args):
+@thread_core
+def _sample_task(
+    csr: CSRGraph,
+    native: Optional[bool],
+    args: Tuple[Any, float, int, int],
+) -> Any:
     """One independent session run over the shared graph."""
     sampler, budget, root_seed, index = args
     session = sampler.start(csr, rng=child_rng(root_seed, index))
@@ -276,7 +295,12 @@ def _sample_task(csr: CSRGraph, native: Optional[bool], args):
             closer()
 
 
-def _anytime_task(csr: CSRGraph, native: Optional[bool], args):
+@thread_core
+def _anytime_task(
+    csr: CSRGraph,
+    native: Optional[bool],
+    args: Tuple[Any, Any, str, List[float], int, int],
+) -> Tuple[List[Any], int]:
     """One anytime session drained at every checkpoint.
 
     Returns ``(increments, steps_taken)`` — the per-checkpoint trace
@@ -291,22 +315,26 @@ def _anytime_task(csr: CSRGraph, native: Optional[bool], args):
     return drain_session_checkpoints(session, schedule, checkpoints)
 
 
-def _shard_advance(task):
+def _shard_advance(
+    task: Tuple[int, List[Tuple[_WalkerClock, int]]],
+) -> List[Tuple[_WalkerClock, np.ndarray, np.ndarray, np.ndarray]]:
     """Spawn wrapper for :func:`_shard_advance_task`."""
     return _shard_advance_task(_WORKER_CSR, _WORKER_NATIVE, task)
 
 
-def _pool_sample_one(args):
+def _pool_sample_one(args: Tuple[Any, float, int, int]) -> Any:
     """Spawn wrapper for :func:`_sample_task`."""
     return _sample_task(_WORKER_CSR, _WORKER_NATIVE, args)
 
 
-def _pool_anytime_one(args):
+def _pool_anytime_one(
+    args: Tuple[Any, Any, str, List[float], int, int],
+) -> Tuple[List[Any], int]:
     """Spawn wrapper for :func:`_anytime_task`."""
     return _anytime_task(_WORKER_CSR, _WORKER_NATIVE, args)
 
 
-def _partition(items: List, shards: int) -> List[List]:
+def _partition(items: List[Any], shards: int) -> List[List[Any]]:
     """Split ``items`` into ``shards`` contiguous, near-even groups."""
     shards = max(1, min(shards, len(items)))
     bounds = np.linspace(0, len(items), shards + 1).astype(int)
@@ -331,13 +359,13 @@ class _SpawnPoolMixin:
         procs: Optional[int],
         native: Optional[bool],
         executor: Optional[str] = None,
-    ):
+    ) -> None:
         if procs is not None and procs < 1:
             raise ValueError(f"procs must be >= 1, got {procs}")
         self.procs = int(procs) if procs is not None else (os.cpu_count() or 1)
         self.executor = resolve_executor(executor)
         self._native = native
-        self._pool = None
+        self._pool: Optional[Any] = None
         self._threads: Optional[ThreadPoolExecutor] = None
         self._spill_dir: Optional[Path] = None
         self._stem: Optional[Path] = None
@@ -347,7 +375,7 @@ class _SpawnPoolMixin:
             self._stem, self._spill_dir = shared_csr_stem(csr)
         return self._stem
 
-    def _ensure_pool(self, csr: CSRGraph):
+    def _ensure_pool(self, csr: CSRGraph) -> Any:
         if self._pool is None:
             context = multiprocessing.get_context("spawn")
             self._pool = context.Pool(
@@ -378,10 +406,10 @@ class _SpawnPoolMixin:
             shutil.rmtree(spill, ignore_errors=True)
         self._stem = None
 
-    def __enter__(self):
+    def __enter__(self) -> "_SpawnPoolMixin":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
     def __del__(self) -> None:
@@ -416,11 +444,11 @@ class ShardedFrontierSession(_SpawnPoolMixin, SamplerSession):
 
     def __init__(
         self,
-        sampler,
-        graph,
+        sampler: Any,
+        graph: Any,
         rng: NpRngLike = None,
         initial_vertices: Optional[Sequence[int]] = None,
-    ):
+    ) -> None:
         entropy = _root_entropy(rng)
         csr = get_csr(graph)
         if initial_vertices is None:
@@ -591,7 +619,7 @@ class ShardedFrontierSession(_SpawnPoolMixin, SamplerSession):
         self._source_chunks = []
         self._target_chunks = []
 
-    def _reattach(self, graph) -> None:
+    def _reattach(self, graph: Any) -> None:
         self._csr = get_csr(graph)
 
 
@@ -638,7 +666,7 @@ class ShardedFrontierSampler(Sampler):
         use_processes: Optional[bool] = None,
         event_block: int = EVENT_BLOCK,
         executor: Optional[str] = None,
-    ):
+    ) -> None:
         if dimension < 1:
             raise ValueError(f"dimension must be >= 1, got {dimension}")
         self.dimension = dimension
@@ -661,7 +689,7 @@ class ShardedFrontierSampler(Sampler):
 
     def start(
         self,
-        graph,
+        graph: Any,
         rng: NpRngLike = None,
         initial_vertices: Optional[Sequence[int]] = None,
     ) -> ShardedFrontierSession:
@@ -672,7 +700,9 @@ class ShardedFrontierSampler(Sampler):
             self, graph, rng, initial_vertices=initial_vertices
         )
 
-    def sample(self, graph, budget: float, rng: NpRngLike = None):
+    def sample(
+        self, graph: Any, budget: float, rng: NpRngLike = None
+    ) -> ArrayWalkTrace:
         """One-shot sample; closes the session's pool before returning."""
         with self.start(graph, rng=rng) as session:
             session.advance_budget(budget)
@@ -680,7 +710,7 @@ class ShardedFrontierSampler(Sampler):
 
     def sample_from(
         self,
-        graph,
+        graph: Any,
         initial_vertices: Sequence[int],
         num_steps: int,
         rng: NpRngLike = None,
@@ -730,15 +760,15 @@ class ShardedSessionPool(_SpawnPoolMixin):
 
     def __init__(
         self,
-        graph,
+        graph: Any,
         procs: Optional[int] = None,
         executor: Optional[str] = None,
-    ):
+    ) -> None:
         self._csr = get_csr(graph)
         self._init_sharing(procs, None, executor)
 
     @staticmethod
-    def _check_run(sampler, runs: int) -> None:
+    def _check_run(sampler: Any, runs: int) -> None:
         if isinstance(sampler, DistributedFrontierSampler):
             raise TypeError(
                 "DistributedFrontierSampler runs on the list backend only"
@@ -756,7 +786,9 @@ class ShardedSessionPool(_SpawnPoolMixin):
         if runs < 1:
             raise ValueError(f"runs must be >= 1, got {runs}")
 
-    def _map(self, task_fn, spawn_fn, tasks: List) -> List:
+    def _map(
+        self, task_fn: Any, spawn_fn: Any, tasks: List[Any]
+    ) -> List[Any]:
         """Run ``task_fn(csr, native, task)`` over every task, eagerly.
 
         ``spawn_fn`` is the module-level wrapper the spawn workers run
@@ -773,7 +805,9 @@ class ShardedSessionPool(_SpawnPoolMixin):
         chunk = max(1, len(tasks) // (self.procs * 4))
         return pool.map(spawn_fn, tasks, chunksize=chunk)
 
-    def _imap(self, task_fn, spawn_fn, tasks: List):
+    def _imap(
+        self, task_fn: Any, spawn_fn: Any, tasks: List[Any]
+    ) -> Iterator[Any]:
         """Lazy :meth:`_map`: an iterator over results in task order."""
         if self.procs <= 1:
             return (
@@ -787,8 +821,8 @@ class ShardedSessionPool(_SpawnPoolMixin):
         return pool.imap(spawn_fn, tasks, chunksize=chunk)
 
     def run(
-        self, sampler, budget: float, runs: int, root_seed: int = 0
-    ) -> List:
+        self, sampler: Any, budget: float, runs: int, root_seed: int = 0
+    ) -> List[Any]:
         """``runs`` independent ``sample(graph, budget)`` traces."""
         self._check_run(sampler, runs)
         tasks = [(sampler, budget, root_seed, index) for index in range(runs)]
@@ -796,14 +830,14 @@ class ShardedSessionPool(_SpawnPoolMixin):
 
     def run_anytime(
         self,
-        sampler,
+        sampler: Any,
         checkpoints: Sequence[float],
         runs: int,
         root_seed: int = 0,
         schedule: str = "budget",
-        starter=None,
+        starter: Optional[Any] = None,
         lazy: bool = False,
-    ) -> List[Tuple[List, int]]:
+    ) -> Union[List[Tuple[List[Any], int]], Iterator[Tuple[List[Any], int]]]:
         """``runs`` independent anytime sessions, drained at every
         checkpoint.
 

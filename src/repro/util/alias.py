@@ -18,7 +18,7 @@ class AliasTable:
     comparison.  Weights need not be normalized.
     """
 
-    def __init__(self, weights: Sequence[float]):
+    def __init__(self, weights: Sequence[float]) -> None:
         n = len(weights)
         if n == 0:
             raise ValueError("cannot build an alias table over zero outcomes")

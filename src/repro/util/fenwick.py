@@ -20,7 +20,9 @@ class FenwickTree:
     O(log n).
     """
 
-    def __init__(self, weights: Optional[Sequence[float]] = None, size: int = 0):
+    def __init__(
+        self, weights: Optional[Sequence[float]] = None, size: int = 0
+    ) -> None:
         if weights is not None:
             self._n = len(weights)
             self._tree = [0.0] * (self._n + 1)

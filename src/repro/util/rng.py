@@ -35,6 +35,8 @@ def ensure_rng(rng: RngLike = None) -> random.Random:
     callers can share state deliberately.
     """
     if rng is None:
+        # repro-lint: disable=RPL001 -- rng=None is the documented
+        # fresh-OS-entropy convenience path; deterministic callers seed.
         return random.Random()
     if isinstance(rng, random.Random):
         return rng
@@ -59,6 +61,8 @@ def ensure_np_rng(rng: NpRngLike = None) -> np.random.Generator:
     end-to-end reproducible on either backend.
     """
     if rng is None:
+        # repro-lint: disable=RPL001 -- rng=None is the documented
+        # fresh-OS-entropy convenience path; deterministic callers seed.
         return np.random.default_rng()
     if isinstance(rng, np.random.Generator):
         return rng

@@ -14,7 +14,7 @@ from typing import Dict, Iterable, List, Mapping, Sequence
 class OnlineMoments:
     """Welford accumulator for count, mean and (unbiased) variance."""
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._count = 0
         self._mean = 0.0
         self._m2 = 0.0

@@ -115,7 +115,7 @@ class TestDegreeErrorParity:
         """fig4/8/12 with a budget schedule: one session per
         replicate, advanced to the final budget only — the
         acceptance-criteria step-count assertion."""
-        for fig, dimension_is_frontier in (
+        for fig, _dimension_is_frontier in (
             (figures.fig4, True),
             (figures.fig8, True),
             (figures.fig12, True),

@@ -143,7 +143,7 @@ class TestRandomPrimitives:
     def test_random_edge_uniform_over_orientations(self, paw, rng):
         counts = Counter(paw.random_edge(rng) for _ in range(16000))
         expected = 1.0 / (2 * paw.num_edges)
-        for edge, count in counts.items():
+        for _edge, count in counts.items():
             assert count / 16000 == pytest.approx(expected, abs=0.02)
         assert len(counts) == 2 * paw.num_edges
 

@@ -43,7 +43,7 @@ class TestLemma51:
         for code, row in enumerate(matrix):
             state = decode_state(code, n, 2)
             volume = sum(paw.degree(v) for v in state)
-            for target, probability in enumerate(row):
+            for _target, probability in enumerate(row):
                 if probability > 0:
                     assert probability == pytest.approx(1.0 / volume)
 

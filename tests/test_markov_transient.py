@@ -28,7 +28,7 @@ class TestSingleRwEdgeProbabilities:
         probability (1/n) / deg(u)."""
         probabilities = single_rw_edge_probabilities(paw, 1)
         n = paw.num_vertices
-        for (u, v), p in probabilities.items():
+        for (u, _v), p in probabilities.items():
             assert p == pytest.approx(1.0 / (n * paw.degree(u)))
 
     def test_regular_graph_is_stationary_immediately(self):

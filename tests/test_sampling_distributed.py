@@ -39,7 +39,7 @@ class TestMechanics:
             if not edges:
                 continue
             assert edges[0][0] == seed
-            for (u1, v1), (u2, _) in zip(edges, edges[1:]):
+            for (_u1, v1), (u2, _) in zip(edges, edges[1:]):
                 assert v1 == u2
 
     def test_deterministic(self, house):
@@ -57,7 +57,7 @@ class TestEquivalenceWithFS:
         trace = sampler.sample(paw, 60_000, rng=3)
         counts = Counter(trace.edges)
         expected = 1.0 / paw.volume()
-        for edge, count in counts.items():
+        for _edge, count in counts.items():
             assert count / trace.num_steps == pytest.approx(expected, rel=0.15)
 
     def test_walker_move_rates_match_fs(self):

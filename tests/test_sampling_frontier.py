@@ -62,7 +62,7 @@ class TestAlgorithmOne:
             if not edges:
                 continue
             assert edges[0][0] == seed
-            for (u1, v1), (u2, _) in zip(edges, edges[1:]):
+            for (_u1, v1), (u2, _) in zip(edges, edges[1:]):
                 assert v1 == u2
 
     def test_per_walker_partition(self, house):
@@ -79,7 +79,7 @@ class TestAlgorithmOne:
     def test_dimension_one_is_single_walk(self, house):
         """FS with m=1 degenerates to a plain random walk."""
         trace = FrontierSampler(1).sample(house, 100, rng=4)
-        for (u1, v1), (u2, _) in zip(trace.edges, trace.edges[1:]):
+        for (_u1, v1), (u2, _) in zip(trace.edges, trace.edges[1:]):
             assert v1 == u2
 
 
@@ -92,7 +92,7 @@ class TestStationaryBehaviour:
         counts = Counter(trace.edges)
         expected = 1.0 / paw.volume()
         assert len(counts) == paw.volume()
-        for edge, count in counts.items():
+        for _edge, count in counts.items():
             assert count / trace.num_steps == pytest.approx(
                 expected, rel=0.15
             )

@@ -72,7 +72,7 @@ class TestRandomEdgeSampler:
         counts = Counter(trace.edges)
         expected = 1.0 / paw.volume()
         assert len(counts) == paw.volume()
-        for edge, count in counts.items():
+        for _edge, count in counts.items():
             assert count / trace.num_steps == pytest.approx(
                 expected, rel=0.15
             )

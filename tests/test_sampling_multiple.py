@@ -56,7 +56,7 @@ class TestIndependence:
     def test_each_walker_is_a_path(self, house):
         trace = MultipleRandomWalk(4).sample(house, 200, rng=3)
         for edges in trace.per_walker:
-            for (u1, v1), (u2, _) in zip(edges, edges[1:]):
+            for (_u1, v1), (u2, _) in zip(edges, edges[1:]):
                 assert v1 == u2
 
     def test_walkers_cover_disconnected_components(self, two_triangles):

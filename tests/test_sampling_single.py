@@ -16,7 +16,7 @@ class TestRandomWalkFunction:
     def test_walk_is_connected_path(self, house, rng):
         edges = random_walk(house, 0, 30, rng)
         assert edges[0][0] == 0
-        for (u1, v1), (u2, _) in zip(edges, edges[1:]):
+        for (_u1, v1), (u2, _) in zip(edges, edges[1:]):
             assert v1 == u2
 
     def test_walk_uses_real_edges(self, house, rng):
@@ -67,7 +67,7 @@ class TestSingleRandomWalk:
         )
         counts = Counter(trace.edges)
         expected = 1.0 / paw.volume()
-        for edge, count in counts.items():
+        for _edge, count in counts.items():
             assert count / trace.num_steps == pytest.approx(
                 expected, rel=0.15
             )

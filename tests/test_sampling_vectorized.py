@@ -99,7 +99,7 @@ class TestKernelParity:
         csr = get_csr(graph)
         run = SAMPLER_RUNS[sampler_name]
         reference = run(graph, 42, False)  # list-backend reference
-        for label, native in KERNEL_PATHS:
+        for _label, native in KERNEL_PATHS:
             trace = run(csr, 42, native)
             assert_traces_identical(reference, trace)
 

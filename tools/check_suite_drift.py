@@ -71,7 +71,7 @@ def load_report(path: Path, role: str) -> dict:
         raise SystemExit(
             f"{role} report {path} is unreadable ({error}); regenerate"
             " it with: repro suite run suites/<suite>.yaml --out <dir>"
-        )
+        ) from error
     return report
 
 

@@ -1,0 +1,42 @@
+"""repro-lint: AST-based checker for this repo's reproducibility contracts.
+
+The repo's value is that every layer is bit-reproducible — the
+int64-exact draw protocol, SeedSequence spawn-key shard streams,
+picklable spawn tasks, reentrant GIL-releasing C kernels.  Those
+contracts used to live only in runtime torture suites and prose;
+``repro-lint`` encodes them as named static rules with ``file:line``
+diagnostics so a violation fails in seconds at lint time instead of
+hours later under a lucky hypothesis seed.
+
+Stdlib only (``ast`` + ``tokenize``); run as::
+
+    python -m tools.repro_lint src tests benchmarks examples
+
+Rules (see ``tools/repro_lint/rules/`` and docs/architecture.md):
+
+=======  ==============================================================
+RPL001   no unseeded global RNG (``np.random.default_rng()`` no-args,
+         ``np.random.<dist>`` module functions, bare ``random.<fn>``)
+RPL002   callables handed to spawn-pool APIs must be module-level
+         functions (picklability), never lambdas/closures/locals
+RPL003   ``@thread_core`` functions must not write module globals or
+         call ``@non_reentrant`` helpers (GIL-safety registry)
+RPL004   ctypes declarations in ``_native.py`` must agree with the
+         ``repro_*`` prototypes in ``_kernels.c`` (arity + types)
+RPL005   no wall-clock / OS entropy / set-iteration nondeterminism
+         inside ``src/repro/sampling/`` and ``src/repro/estimators/``
+=======  ==============================================================
+
+Intentional violations are silenced line by line with a mandatory
+reason::
+
+    # repro-lint: disable=RPL001 -- benchmarks time the unseeded path
+
+``RPL000`` marks tool-level problems (unparseable file, malformed
+``disable`` comment) and cannot itself be suppressed.
+"""
+
+from tools.repro_lint.diagnostics import Diagnostic, TOOL_RULE
+from tools.repro_lint.engine import run
+
+__all__ = ["Diagnostic", "TOOL_RULE", "run"]

@@ -1,0 +1,6 @@
+"""``python -m tools.repro_lint`` entry point."""
+
+from tools.repro_lint.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,71 @@
+"""Command-line front end: ``python -m tools.repro_lint [paths...]``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from tools.repro_lint.engine import run
+from tools.repro_lint.rules import RULE_SUMMARIES
+
+_DEFAULT_PATHS = ("src", "tests", "benchmarks", "examples")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.repro_lint",
+        description=(
+            "Check the repo's reproducibility contracts (RPL001-RPL005)"
+            " statically; exits non-zero on any diagnostic."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help=(
+            "files or directories to lint (default: the existing"
+            f" subset of {', '.join(_DEFAULT_PATHS)})"
+        ),
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule table and exit",
+    )
+    arguments = parser.parse_args(argv)
+    if arguments.list_rules:
+        for rule_id, title in sorted(RULE_SUMMARIES.items()):
+            print(f"{rule_id}  {title}")
+        return 0
+    if arguments.paths:
+        paths = [Path(p) for p in arguments.paths]
+        missing = [p for p in paths if not p.exists()]
+        if missing:
+            print(
+                "repro-lint: no such path:"
+                f" {', '.join(str(p) for p in missing)}",
+                file=sys.stderr,
+            )
+            return 2
+    else:
+        paths = [Path(p) for p in _DEFAULT_PATHS if Path(p).exists()]
+        if not paths:
+            print(
+                "repro-lint: none of the default paths"
+                f" ({', '.join(_DEFAULT_PATHS)}) exist here",
+                file=sys.stderr,
+            )
+            return 2
+    diagnostics = run(paths, root=Path.cwd())
+    for diagnostic in diagnostics:
+        print(diagnostic.render())
+    count = len(diagnostics)
+    if count:
+        print(
+            f"repro-lint: {count} diagnostic{'s' if count != 1 else ''}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0

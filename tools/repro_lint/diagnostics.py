@@ -1,0 +1,149 @@
+"""Diagnostic records and ``# repro-lint: disable=`` parsing.
+
+Suppressions are parsed from *real* comment tokens (via
+:mod:`tokenize`), never from raw line scans — so fixture code embedded
+in test-file string literals cannot accidentally suppress (or trip)
+anything.  A ``disable`` comment silences the named rules on the line
+it shares with code, or — when it stands on a comment-only line — on
+the next code line below it.  The reason clause after ``--`` is
+mandatory; a ``disable`` without one is itself reported as
+:data:`TOOL_RULE` and suppresses nothing.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, List, Set
+
+#: Rule id for tool-level problems: unparseable files and malformed
+#: suppression comments.  Never suppressible.
+TOOL_RULE = "RPL000"
+
+_RULE_ID = re.compile(r"^RPL\d{3}$")
+_DISABLE = re.compile(
+    r"#\s*repro-lint:\s*(?P<verb>[A-Za-z_-]+)"
+    r"(?:=(?P<rules>[^#]*?))?"
+    r"(?:\s+--\s*(?P<reason>.*))?\s*$"
+)
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding: ``path:line:col: RULE message``."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def sort_key(self):
+        return (self.path, self.line, self.col, self.rule)
+
+
+@dataclass
+class Suppressions:
+    """Per-file map of code line -> rule ids silenced on that line."""
+
+    by_line: Dict[int, Set[str]] = field(default_factory=dict)
+    #: Malformed ``disable`` comments, already rendered as RPL000
+    #: diagnostics by the parser.
+    malformed: List[Diagnostic] = field(default_factory=list)
+
+    def is_suppressed(self, rule: str, line: int) -> bool:
+        if rule == TOOL_RULE:
+            return False
+        return rule in self.by_line.get(line, set())
+
+
+def _attach_line(comment: tokenize.TokenInfo, tokens, index: int) -> int:
+    """The code line a ``disable`` comment governs.
+
+    Inline comments govern their own line.  Comment-only lines govern
+    the next line that carries actual code (skipping further comments,
+    blank lines and indentation tokens) — the natural home for long
+    reasons that wrap onto continuation comment lines.
+    """
+    line_text = comment.line[: comment.start[1]]
+    if line_text.strip():
+        return comment.start[0]
+    skip = (
+        tokenize.COMMENT,
+        tokenize.NL,
+        tokenize.NEWLINE,
+        tokenize.INDENT,
+        tokenize.DEDENT,
+    )
+    for token in tokens[index + 1 :]:
+        if token.type not in skip and token.type != tokenize.ENDMARKER:
+            return token.start[0]
+    return comment.start[0]
+
+
+def parse_suppressions(path: str, source: str) -> Suppressions:
+    """All ``# repro-lint: disable=...`` comments in ``source``."""
+    result = Suppressions()
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return result  # the engine reports the parse failure itself
+    for index, token in enumerate(tokens):
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _DISABLE.match(token.string)
+        if match is None:
+            if "repro-lint" in token.string:
+                result.malformed.append(
+                    Diagnostic(
+                        path, token.start[0], token.start[1], TOOL_RULE,
+                        "unrecognized repro-lint comment; expected"
+                        " '# repro-lint: disable=RPLxxx -- reason'",
+                    )
+                )
+            continue
+        line, col = token.start
+        if match.group("verb") != "disable":
+            result.malformed.append(
+                Diagnostic(
+                    path, line, col, TOOL_RULE,
+                    f"unknown repro-lint verb {match.group('verb')!r};"
+                    " only 'disable=' is supported",
+                )
+            )
+            continue
+        rules = [
+            rule.strip()
+            for rule in (match.group("rules") or "").split(",")
+            if rule.strip()
+        ]
+        bad = [rule for rule in rules if not _RULE_ID.match(rule)]
+        reason = (match.group("reason") or "").strip()
+        if not rules or bad:
+            result.malformed.append(
+                Diagnostic(
+                    path, line, col, TOOL_RULE,
+                    "disable= needs a comma-separated list of RPLxxx"
+                    f" rule ids, got {match.group('rules')!r}",
+                )
+            )
+            continue
+        if not reason:
+            result.malformed.append(
+                Diagnostic(
+                    path, line, col, TOOL_RULE,
+                    "disable= requires a reason:"
+                    " '# repro-lint: disable="
+                    + ",".join(rules)
+                    + " -- why this site is exempt'",
+                )
+            )
+            continue
+        target = _attach_line(token, tokens, index)
+        result.by_line.setdefault(target, set()).update(rules)
+    return result

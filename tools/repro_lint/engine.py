@@ -1,0 +1,123 @@
+"""File discovery, per-module contexts, and the two-phase rule driver."""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional
+
+from tools.repro_lint.diagnostics import (
+    Diagnostic,
+    Suppressions,
+    TOOL_RULE,
+    parse_suppressions,
+)
+from tools.repro_lint.imports import collect_aliases
+from tools.repro_lint.rules import build_rules
+
+_SKIP_DIRS = {"__pycache__", ".git", ".ruff_cache", ".mypy_cache", "build"}
+
+
+@dataclass
+class ModuleContext:
+    """Everything the rules need to know about one parsed file."""
+
+    path: Path
+    display: str
+    source: str
+    tree: ast.Module
+    aliases: Dict[str, str]
+    suppressions: Suppressions
+
+
+def iter_python_files(paths: Iterable[Path]) -> List[Path]:
+    """All ``.py`` files under ``paths`` (files pass through as-is)."""
+    found: List[Path] = []
+    for path in paths:
+        if path.is_file():
+            found.append(path)
+        elif path.is_dir():
+            for candidate in sorted(path.rglob("*.py")):
+                parts = set(candidate.parts)
+                if parts & _SKIP_DIRS:
+                    continue
+                found.append(candidate)
+    return found
+
+
+def _display(path: Path, root: Optional[Path]) -> str:
+    if root is not None:
+        try:
+            return path.resolve().relative_to(root.resolve()).as_posix()
+        except ValueError:
+            pass
+    return path.as_posix()
+
+
+def load_context(
+    path: Path, root: Optional[Path] = None
+) -> "ModuleContext | Diagnostic":
+    """Parse one file; a syntax error becomes an RPL000 diagnostic."""
+    display = _display(path, root)
+    try:
+        source = path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as error:
+        return Diagnostic(
+            display, 1, 0, TOOL_RULE, f"cannot read file: {error}"
+        )
+    try:
+        tree = ast.parse(source, filename=display)
+    except SyntaxError as error:
+        return Diagnostic(
+            display, error.lineno or 1, (error.offset or 1) - 1,
+            TOOL_RULE, f"syntax error: {error.msg}",
+        )
+    return ModuleContext(
+        path=path,
+        display=display,
+        source=source,
+        tree=tree,
+        aliases=collect_aliases(tree),
+        suppressions=parse_suppressions(display, source),
+    )
+
+
+def run(
+    paths: Iterable[Path], root: Optional[Path] = None
+) -> List[Diagnostic]:
+    """Lint every file under ``paths``; sorted surviving diagnostics.
+
+    Two phases: each rule's optional ``collect`` pass sees *all*
+    modules first (RPL003 registers ``@non_reentrant`` names across
+    files), then ``check`` runs per module.  Suppression comments are
+    applied last, so a ``disable`` silences exactly the named rules on
+    its governed line; malformed suppressions surface as RPL000.
+    """
+    contexts: List[ModuleContext] = []
+    diagnostics: List[Diagnostic] = []
+    for path in iter_python_files(
+        [Path(p) for p in paths]
+    ):
+        loaded = load_context(path, root)
+        if isinstance(loaded, Diagnostic):
+            diagnostics.append(loaded)
+        else:
+            contexts.append(loaded)
+    rules = build_rules()
+    for rule in rules:
+        collect = getattr(rule, "collect", None)
+        if collect is not None:
+            for context in contexts:
+                collect(context)
+    for context in contexts:
+        diagnostics.extend(context.suppressions.malformed)
+        for rule in rules:
+            for diagnostic in rule.check(context):
+                if context.suppressions.is_suppressed(
+                    diagnostic.rule, diagnostic.line
+                ):
+                    continue
+                diagnostics.append(diagnostic)
+    diagnostics.sort(key=Diagnostic.sort_key)
+    return diagnostics

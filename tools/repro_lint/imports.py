@@ -1,0 +1,66 @@
+"""Import-alias tracking and dotted-call-target resolution.
+
+The rules reason about *what module function* a call reaches —
+``np.random.random`` is ``numpy.random.random`` however numpy was
+aliased, and ``from os import urandom`` makes a bare ``urandom(8)``
+an ``os.urandom`` call.  This module resolves both, conservatively:
+a name that is not an import binding resolves to ``None`` (method
+calls on local variables are never mistaken for module functions).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Optional
+
+
+def collect_aliases(tree: ast.Module) -> Dict[str, str]:
+    """Local name -> dotted module (or module attr) path.
+
+    ``import numpy as np`` maps ``np -> numpy``; ``import numpy.random``
+    maps ``numpy -> numpy`` (attribute access walks the rest); ``from
+    datetime import datetime`` maps ``datetime -> datetime.datetime``.
+    Relative imports are skipped — they never reach the stdlib/numpy
+    modules the rules care about.
+    """
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for name in node.names:
+                if name.asname:
+                    aliases[name.asname] = name.name
+                else:
+                    root = name.name.split(".")[0]
+                    aliases[root] = root
+        elif isinstance(node, ast.ImportFrom):
+            if not node.module or node.level:
+                continue
+            for name in node.names:
+                if name.name == "*":
+                    continue
+                aliases[name.asname or name.name] = (
+                    f"{node.module}.{name.name}"
+                )
+    return aliases
+
+
+def dotted_target(
+    node: ast.expr, aliases: Dict[str, str]
+) -> Optional[str]:
+    """The full dotted path a call target resolves to, or ``None``.
+
+    ``np.random.default_rng`` with ``np -> numpy`` resolves to
+    ``"numpy.random.default_rng"``; ``rng.random`` resolves to ``None``
+    because ``rng`` is not an import binding.
+    """
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    base = aliases.get(node.id)
+    if base is None:
+        return None
+    parts.append(base)
+    return ".".join(reversed(parts))

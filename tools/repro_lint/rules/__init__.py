@@ -1,0 +1,34 @@
+"""Rule registry: one module per RPL rule, assembled in id order."""
+
+from tools.repro_lint.rules import (
+    rpl001_rng,
+    rpl002_picklable,
+    rpl003_reentrancy,
+    rpl004_csig,
+    rpl005_wallclock,
+)
+
+
+def build_rules():
+    """Fresh rule instances for one lint run (RPL003 carries state)."""
+    return [
+        rpl001_rng.UnseededGlobalRng(),
+        rpl002_picklable.PicklablePoolTasks(),
+        rpl003_reentrancy.ThreadCoreReentrancy(),
+        rpl004_csig.KernelSignatureDrift(),
+        rpl005_wallclock.WallClockNondeterminism(),
+    ]
+
+
+#: id -> one-line summary, for ``--list-rules`` and the docs table.
+RULE_SUMMARIES = {
+    rpl001_rng.UnseededGlobalRng.id: rpl001_rng.UnseededGlobalRng.title,
+    rpl002_picklable.PicklablePoolTasks.id:
+        rpl002_picklable.PicklablePoolTasks.title,
+    rpl003_reentrancy.ThreadCoreReentrancy.id:
+        rpl003_reentrancy.ThreadCoreReentrancy.title,
+    rpl004_csig.KernelSignatureDrift.id:
+        rpl004_csig.KernelSignatureDrift.title,
+    rpl005_wallclock.WallClockNondeterminism.id:
+        rpl005_wallclock.WallClockNondeterminism.title,
+}

@@ -1,0 +1,99 @@
+"""RPL001 — no unseeded global RNG.
+
+Deterministic code threads an explicit ``numpy.random.Generator`` or
+``random.Random`` instance; the process-global streams make a result
+depend on everything else the process ever drew.  Flags:
+
+- ``np.random.default_rng()`` called with *no* arguments (an OS-entropy
+  generator; pass a seed or a ``SeedSequence``);
+- module-level ``np.random.<dist>`` functions (``np.random.random``,
+  ``np.random.randint``, ``np.random.seed``, ...) — they share the
+  hidden legacy global state;
+- bare ``random.<fn>`` calls on the stdlib module (``random.random``,
+  ``random.randrange``, ``random.seed``, ...), including no-argument
+  ``random.Random()``.
+
+Seeded construction — ``default_rng(seed)``, ``Random(12345)``,
+``SeedSequence``/bit-generator classes — is fine.  Intentionally
+entropic sites (e.g. the ``seed=None`` convenience path in
+``util/rng.py``) carry ``# repro-lint: disable=RPL001 -- reason``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from tools.repro_lint.diagnostics import Diagnostic
+from tools.repro_lint.imports import dotted_target
+
+#: numpy.random attributes that construct explicit generator objects
+#: (seeded or seedable) rather than drawing from the global stream.
+_NP_CONSTRUCTORS = {
+    "default_rng",
+    "Generator",
+    "SeedSequence",
+    "BitGenerator",
+    "PCG64",
+    "PCG64DXSM",
+    "Philox",
+    "SFC64",
+    "MT19937",
+    "RandomState",  # legacy but explicit-instance; seededness is its own affair
+}
+
+
+class UnseededGlobalRng:
+    id = "RPL001"
+    title = "no unseeded global RNG; thread a Generator/Random instance"
+
+    def check(self, ctx) -> List[Diagnostic]:
+        diagnostics: List[Diagnostic] = []
+
+        def flag(node: ast.Call, message: str) -> None:
+            diagnostics.append(
+                Diagnostic(
+                    ctx.display, node.lineno, node.col_offset,
+                    self.id, message,
+                )
+            )
+
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = dotted_target(node.func, ctx.aliases)
+            if target is None:
+                continue
+            if target == "numpy.random.default_rng":
+                if not node.args and not node.keywords:
+                    flag(
+                        node,
+                        "default_rng() without a seed draws fresh OS"
+                        " entropy; pass a seed/SeedSequence or thread a"
+                        " Generator from the caller",
+                    )
+            elif target.startswith("numpy.random."):
+                tail = target.split(".", 2)[2]
+                if "." not in tail and tail not in _NP_CONSTRUCTORS:
+                    flag(
+                        node,
+                        f"numpy.random.{tail}() draws from the hidden"
+                        " process-global stream; use an explicit"
+                        " Generator instance",
+                    )
+            elif target == "random.Random":
+                if not node.args and not node.keywords:
+                    flag(
+                        node,
+                        "random.Random() without a seed draws fresh OS"
+                        " entropy; pass a seed or thread a Random from"
+                        " the caller",
+                    )
+            elif target.startswith("random.") and target.count(".") == 1:
+                tail = target.split(".", 1)[1]
+                flag(
+                    node,
+                    f"random.{tail}() uses the process-global stdlib"
+                    " stream; use an explicit random.Random instance",
+                )
+        return diagnostics

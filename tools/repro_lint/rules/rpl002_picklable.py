@@ -1,0 +1,111 @@
+"""RPL002 — spawn-pool callables must be module-level functions.
+
+The spawn start method pickles every task callable by qualified name;
+lambdas, closures and functions defined inside another function fail
+at runtime with an opaque ``PicklingError`` — or worse, only fail on
+the spawn executor while the thread executor silently accepts them,
+splitting the "identical task code on every executor" contract.  This
+rule rejects them statically at the call sites that fan work out:
+
+- ``<pool>.map`` / ``imap`` / ``imap_unordered`` / ``starmap`` /
+  ``apply`` / ``apply_async`` first arguments;
+- ``starter=`` / ``initializer=`` keyword arguments anywhere (the
+  session-starter hooks of ``ShardedSessionPool.run_anytime`` and
+  ``run_plan``, and pool initializers).
+
+``functools.partial`` over a module-level function stays legal — it
+pickles by reference.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Set
+
+from tools.repro_lint.diagnostics import Diagnostic
+
+_POOL_METHODS = {
+    "map",
+    "imap",
+    "imap_unordered",
+    "starmap",
+    "starmap_async",
+    "apply",
+    "apply_async",
+}
+_CALLABLE_KEYWORDS = {"starter", "initializer"}
+
+
+def _local_callables(tree: ast.Module) -> Dict[str, Set[str]]:
+    """Names that are *not* safe to hand to a spawn pool.
+
+    ``nested``: functions defined inside another function (closures —
+    unpicklable).  ``lambdas``: names bound to a lambda anywhere.
+    Module-level and class-level ``def``s are excluded; they pickle by
+    qualified name.
+    """
+    nested: Set[str] = set()
+    lambdas: Set[str] = set()
+
+    def visit(node: ast.AST, inside_function: bool) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if inside_function:
+                    nested.add(child.name)
+                visit(child, True)
+            elif isinstance(child, ast.Assign):
+                if isinstance(child.value, ast.Lambda):
+                    for target in child.targets:
+                        if isinstance(target, ast.Name):
+                            lambdas.add(target.id)
+                visit(child, inside_function)
+            else:
+                visit(child, inside_function)
+
+    visit(tree, False)
+    return {"nested": nested, "lambdas": lambdas}
+
+
+class PicklablePoolTasks:
+    id = "RPL002"
+    title = "spawn-pool callables must be module-level functions"
+
+    def check(self, ctx) -> List[Diagnostic]:
+        diagnostics: List[Diagnostic] = []
+        locals_map = _local_callables(ctx.tree)
+
+        def flag(node: ast.expr, what: str, where: str) -> None:
+            diagnostics.append(
+                Diagnostic(
+                    ctx.display, node.lineno, node.col_offset, self.id,
+                    f"{what} handed to {where} cannot be pickled by the"
+                    " spawn executor; define a module-level task"
+                    " function instead",
+                )
+            )
+
+        def inspect(value: ast.expr, where: str) -> None:
+            if isinstance(value, ast.Lambda):
+                flag(value, "lambda", where)
+            elif isinstance(value, ast.Name):
+                if value.id in locals_map["nested"]:
+                    flag(
+                        value,
+                        f"locally defined function {value.id!r}", where,
+                    )
+                elif value.id in locals_map["lambdas"]:
+                    flag(value, f"lambda bound to {value.id!r}", where)
+
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in _POOL_METHODS
+                and node.args
+            ):
+                inspect(node.args[0], f".{node.func.attr}()")
+            for keyword in node.keywords:
+                if keyword.arg in _CALLABLE_KEYWORDS:
+                    inspect(keyword.value, f"{keyword.arg}=")
+        return diagnostics

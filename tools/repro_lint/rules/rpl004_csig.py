@@ -1,0 +1,275 @@
+"""RPL004 — ctypes declarations must match the C kernel prototypes.
+
+A foreign call through a drifted ``argtypes`` list passes garbage
+pointers and corrupts memory without raising.  This rule parses the
+``repro_*`` prototypes out of ``_kernels.c`` (with the same
+``_cproto`` parser the runtime loader uses) and diffs them against
+whatever the sibling ``_native.py`` declares, in either style:
+
+- the table form: a module-level ``_DECLARATIONS`` dict of
+  ``name -> (restype_token, (argtype_tokens, ...))``;
+- the classic form: ``lib.repro_x.argtypes = [...]`` /
+  ``lib.repro_x.restype = ...`` assignments, with ``ctypes.c_*`` names
+  and ``POINTER(...)`` aliases resolved to the canonical tokens.
+
+Arity or per-position type disagreement, a Python declaration with no
+C prototype, and a C kernel ``_native.py`` never declares are all
+diagnostics.  :func:`repro.sampling._native.load` performs the same
+diff at runtime for out-of-tree builds.
+"""
+
+from __future__ import annotations
+
+import ast
+import importlib.util
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from tools.repro_lint.diagnostics import Diagnostic
+
+#: ctypes spelling -> canonical token (see ``_cproto``).
+_CTYPES_TOKENS = {
+    "c_int64": "i64",
+    "c_longlong": "i64",
+    "c_double": "f64",
+}
+_POINTER_TOKENS = {
+    "c_int64": "i64*",
+    "c_longlong": "i64*",
+    "c_double": "f64*",
+}
+
+Declaration = Tuple[Optional[str], Tuple[str, ...], int]
+
+
+def _load_cproto(native_path: Path):
+    """The shared prototype parser, wherever it lives.
+
+    Prefer the sibling ``_cproto.py`` of the scanned ``_native.py``
+    (works with no installed package at all); fall back to the
+    importable ``repro.sampling._cproto`` for fixture trees that only
+    provide ``_native.py`` + ``_kernels.c``.
+    """
+    sibling = native_path.with_name("_cproto.py")
+    if sibling.is_file():
+        spec = importlib.util.spec_from_file_location(
+            "_repro_lint_cproto", sibling
+        )
+        if spec is not None and spec.loader is not None:
+            module = importlib.util.module_from_spec(spec)
+            # dataclasses resolves string annotations through
+            # sys.modules[cls.__module__]; register before executing.
+            sys.modules[spec.name] = module
+            spec.loader.exec_module(module)
+            return module
+    try:
+        from repro.sampling import _cproto
+        return _cproto
+    except ImportError:
+        return None
+
+
+def _terminal(node: ast.expr) -> str:
+    while isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return ""
+
+
+def _pointer_aliases(tree: ast.Module) -> Dict[str, str]:
+    """Module-level ``X = POINTER(c_int64)``-style alias names."""
+    aliases: Dict[str, str] = {}
+    for node in tree.body:
+        if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+            continue
+        target = node.targets[0]
+        value = node.value
+        if (
+            isinstance(target, ast.Name)
+            and isinstance(value, ast.Call)
+            and _terminal(value.func) == "POINTER"
+            and len(value.args) == 1
+        ):
+            pointee = _terminal(value.args[0])
+            token = _POINTER_TOKENS.get(pointee)
+            if token is not None:
+                aliases[target.id] = token
+    return aliases
+
+
+def _token_of(node: ast.expr, pointer_aliases: Dict[str, str]) -> str:
+    """Canonical token of one ctypes expression ('?' if unknown)."""
+    if isinstance(node, ast.Constant) and node.value is None:
+        return "void"
+    if isinstance(node, ast.Call) and _terminal(node.func) == "POINTER":
+        if len(node.args) == 1:
+            return _POINTER_TOKENS.get(_terminal(node.args[0]), "?")
+        return "?"
+    name = _terminal(node)
+    if name in pointer_aliases:
+        return pointer_aliases[name]
+    return _CTYPES_TOKENS.get(name, "?")
+
+
+def _table_declarations(tree: ast.Module) -> Dict[str, Declaration]:
+    """Declarations from a ``_DECLARATIONS`` token-dict, if present."""
+    declarations: Dict[str, Declaration] = {}
+    for node in tree.body:
+        targets = []
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        else:
+            continue
+        named = [
+            t for t in targets
+            if isinstance(t, ast.Name) and t.id == "_DECLARATIONS"
+        ]
+        if not named or not isinstance(value, ast.Dict):
+            continue
+        for key, entry in zip(value.keys, value.values):
+            if not (
+                isinstance(key, ast.Constant)
+                and isinstance(key.value, str)
+                and isinstance(entry, (ast.Tuple, ast.List))
+                and len(entry.elts) == 2
+            ):
+                continue
+            restype_node, args_node = entry.elts
+            if not (
+                isinstance(restype_node, ast.Constant)
+                and isinstance(restype_node.value, str)
+                and isinstance(args_node, (ast.Tuple, ast.List))
+            ):
+                continue
+            argtypes = tuple(
+                element.value
+                if isinstance(element, ast.Constant)
+                and isinstance(element.value, str)
+                else "?"
+                for element in args_node.elts
+            )
+            declarations[key.value] = (
+                restype_node.value, argtypes, key.lineno
+            )
+    return declarations
+
+
+def _assignment_declarations(tree: ast.Module) -> Dict[str, Declaration]:
+    """Declarations from ``lib.X.argtypes`` / ``.restype`` assigns."""
+    pointer_aliases = _pointer_aliases(tree)
+    argtypes_by_name: Dict[str, Tuple[Tuple[str, ...], int]] = {}
+    restype_by_name: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+            continue
+        target = node.targets[0]
+        if not (
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Attribute)
+        ):
+            continue
+        kernel = target.value.attr
+        if not kernel.startswith("repro_"):
+            continue
+        if target.attr == "argtypes":
+            if isinstance(node.value, (ast.List, ast.Tuple)):
+                argtypes_by_name[kernel] = (
+                    tuple(
+                        _token_of(element, pointer_aliases)
+                        for element in node.value.elts
+                    ),
+                    node.lineno,
+                )
+        elif target.attr == "restype":
+            restype_by_name[kernel] = _token_of(
+                node.value, pointer_aliases
+            )
+    return {
+        kernel: (restype_by_name.get(kernel), argtypes, line)
+        for kernel, (argtypes, line) in argtypes_by_name.items()
+    }
+
+
+class KernelSignatureDrift:
+    id = "RPL004"
+    title = "_native.py ctypes declarations agree with _kernels.c"
+
+    def check(self, ctx) -> List[Diagnostic]:
+        if ctx.path.name != "_native.py":
+            return []
+        kernels = ctx.path.with_name("_kernels.c")
+        if not kernels.is_file():
+            return []
+        cproto = _load_cproto(ctx.path)
+        if cproto is None:
+            return [
+                Diagnostic(
+                    ctx.display, 1, 0, self.id,
+                    "cannot locate the _cproto prototype parser next to"
+                    " _native.py or on the import path; RPL004 not run",
+                )
+            ]
+        try:
+            prototypes = cproto.parse_prototypes(
+                kernels.read_text(encoding="utf-8"), origin=str(kernels)
+            )
+        except cproto.CPrototypeError as error:
+            return [Diagnostic(ctx.display, 1, 0, self.id, str(error))]
+        declarations = _table_declarations(ctx.tree)
+        declarations.update(_assignment_declarations(ctx.tree))
+        diagnostics: List[Diagnostic] = []
+        for name, (restype, argtypes, line) in sorted(
+            declarations.items()
+        ):
+            prototype = prototypes.get(name)
+            rendered = (
+                f"{restype or '?'} {name}({', '.join(argtypes)})"
+            )
+            if prototype is None:
+                diagnostics.append(
+                    Diagnostic(
+                        ctx.display, line, 0, self.id,
+                        f"{name!r} is declared here but {kernels.name}"
+                        " defines no such kernel prototype",
+                    )
+                )
+                continue
+            if len(argtypes) != len(prototype.argtypes):
+                diagnostics.append(
+                    Diagnostic(
+                        ctx.display, line, 0, self.id,
+                        f"{name!r}: arity mismatch — declared"
+                        f" [{rendered}] vs"
+                        f" {kernels.name}:{prototype.line}"
+                        f" [{prototype.render()}]",
+                    )
+                )
+                continue
+            drift = argtypes != prototype.argtypes or (
+                restype is not None and restype != prototype.restype
+            )
+            if drift:
+                diagnostics.append(
+                    Diagnostic(
+                        ctx.display, line, 0, self.id,
+                        f"{name!r}: type mismatch — declared"
+                        f" [{rendered}] vs"
+                        f" {kernels.name}:{prototype.line}"
+                        f" [{prototype.render()}]",
+                    )
+                )
+        for name, prototype in sorted(prototypes.items()):
+            if name not in declarations:
+                diagnostics.append(
+                    Diagnostic(
+                        ctx.display, 1, 0, self.id,
+                        f"{kernels.name}:{prototype.line} defines"
+                        f" [{prototype.render()}] but _native.py never"
+                        " declares it",
+                    )
+                )
+        return diagnostics

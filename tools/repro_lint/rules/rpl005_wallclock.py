@@ -1,0 +1,120 @@
+"""RPL005 — no wall-clock or ambient nondeterminism in hot packages.
+
+Scoped to ``repro/sampling/`` and ``repro/estimators/``: the layers
+whose outputs must be a pure function of ``(graph, seed, parameters)``.
+Flags:
+
+- wall-clock and timer reads (``time.time``, ``time.monotonic``,
+  ``time.perf_counter``, ``datetime.now`` and friends) — sampling and
+  estimation results must not depend on when they ran; timing belongs
+  in ``benchmarks/``;
+- ambient entropy (``os.urandom``, ``uuid.uuid4``, ``secrets.*``) —
+  randomness arrives through seeded generators only;
+- iteration over a ``set`` (literal, constructor call, or
+  comprehension) in ``for`` loops and comprehensions — set order is
+  salted per process, so anything it feeds into a trace wobbles
+  between runs; sort first.
+
+Intentional entropy sites (the documented ``rng=None`` escape hatch)
+carry ``# repro-lint: disable=RPL005 -- reason``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from tools.repro_lint.diagnostics import Diagnostic
+from tools.repro_lint.imports import dotted_target
+
+_FORBIDDEN_CALLS = {
+    "time.time": "wall-clock read",
+    "time.time_ns": "wall-clock read",
+    "time.monotonic": "timer read",
+    "time.monotonic_ns": "timer read",
+    "time.perf_counter": "timer read",
+    "time.perf_counter_ns": "timer read",
+    "datetime.datetime.now": "wall-clock read",
+    "datetime.datetime.utcnow": "wall-clock read",
+    "datetime.datetime.today": "wall-clock read",
+    "datetime.date.today": "wall-clock read",
+    "os.urandom": "read of OS entropy",
+    "uuid.uuid1": "clock/MAC-derived id",
+    "uuid.uuid4": "read of OS entropy",
+    "secrets.token_bytes": "read of OS entropy",
+    "secrets.token_hex": "read of OS entropy",
+    "secrets.token_urlsafe": "read of OS entropy",
+    "secrets.randbits": "read of OS entropy",
+    "secrets.randbelow": "read of OS entropy",
+}
+
+_SCOPES = (("repro", "sampling"), ("repro", "estimators"))
+
+
+def _in_scope(display: str) -> bool:
+    parts = tuple(display.replace("\\", "/").split("/"))
+    for scope in _SCOPES:
+        for start in range(len(parts) - len(scope) + 1):
+            if parts[start : start + len(scope)] == scope:
+                return True
+    return False
+
+
+def _is_set_expression(node: ast.expr) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in ("set", "frozenset")
+    )
+
+
+class WallClockNondeterminism:
+    id = "RPL005"
+    title = "no wall-clock/entropy/set-order inputs in sampling+estimators"
+
+    def check(self, ctx) -> List[Diagnostic]:
+        if not _in_scope(ctx.display):
+            return []
+        diagnostics: List[Diagnostic] = []
+
+        def flag(node: ast.AST, message: str) -> None:
+            diagnostics.append(
+                Diagnostic(
+                    ctx.display, node.lineno, node.col_offset,
+                    self.id, message,
+                )
+            )
+
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                target = dotted_target(node.func, ctx.aliases)
+                kind = _FORBIDDEN_CALLS.get(target or "")
+                if kind is not None:
+                    flag(
+                        node,
+                        f"{target}() is a {kind}; sampling/estimator"
+                        " results must be a pure function of"
+                        " (graph, seed, parameters)",
+                    )
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                if _is_set_expression(node.iter):
+                    flag(
+                        node.iter,
+                        "iterating a set: order is salted per process;"
+                        " sort it before it can feed a trace",
+                    )
+            elif isinstance(
+                node, (ast.ListComp, ast.SetComp, ast.GeneratorExp,
+                       ast.DictComp)
+            ):
+                for generator in node.generators:
+                    if _is_set_expression(generator.iter):
+                        flag(
+                            generator.iter,
+                            "iterating a set: order is salted per"
+                            " process; sort it before it can feed a"
+                            " trace",
+                        )
+        return diagnostics
