@@ -31,6 +31,16 @@ its scale — the gates are defined on these workloads, so
   timing is recorded by pytest-benchmark, which puts it under the CI
   trend gate (``tools/check_bench_trend.py``, pattern ``test_fs_``).
 
+- ``test_fs_fused_checkpoint_drain`` — a fig4-style 8-point anytime
+  sweep (10^5 FS steps per replicate, degree-PMF + average-degree
+  accumulators) run through the engine's fused
+  ``advance_into`` path vs the same plan forced onto the
+  ``take_trace()``/``update()`` drain path with ``REPRO_NO_FUSED=1``.
+  The fused path never materializes the O(steps) trace increments —
+  its per-checkpoint scratch is the O(max_degree) count block — and
+  must be >= 2x faster with native kernels; the rows must match the
+  drained rows bit for bit regardless.
+
 Results land in ``results/engine_speed.txt``; bit-equality of the
 thread, spawn and inline sweeps is asserted unconditionally.
 """
@@ -42,15 +52,20 @@ import time
 
 import pytest
 
+from repro.estimators.streaming import (
+    StreamingAverageDegree,
+    StreamingDegreePMF,
+)
 from repro.experiments.degree_errors import (
     degree_error_budget_sweep,
     degree_error_experiment,
 )
-from repro.experiments.engine import default_budget_schedule
+from repro.experiments.engine import ExperimentPlan, default_budget_schedule, run_plan
 from repro.generators.ba import barabasi_albert
 from repro.graph.csr import get_csr
 from repro.sampling import _native
 from repro.sampling.frontier import FrontierSampler
+from repro.sampling.fused import FusedNeeds, merge_needs
 
 from conftest import run_once
 
@@ -60,6 +75,12 @@ SWEEP_BUDGET = 40_000.0
 SWEEP_POINTS = 8
 SWEEP_REPLICATES = 8
 SWEEP_FLOOR = 2.0
+
+FUSED_DIMENSION = 1_000
+FUSED_STEPS = 100_000
+FUSED_POINTS = 8
+FUSED_REPLICATES = 4
+FUSED_FLOOR = 2.0
 
 PROCS = 4
 PROCS_DIMENSION = 3_000
@@ -271,4 +292,102 @@ def test_fs_engine_thread_fanout(benchmark, ba_graph, results_dir):
     assert ratio >= THREAD_FLOOR, (
         f"thread executor is only {ratio:.2f}x the spawn executor on"
         f" the {PROCS}-worker fan-out (floor {THREAD_FLOOR}x)"
+    )
+
+
+class _DegreeBundle:
+    """The paper's fig4 accumulator pair, as one fuse-capable part."""
+
+    def __init__(self, graph):
+        self.pmf = StreamingDegreePMF(graph)
+        self.average = StreamingAverageDegree(graph)
+
+    def update(self, increment):
+        self.pmf.update(increment)
+        self.average.update(increment)
+        return self
+
+    def fused_needs(self):
+        return merge_needs((self.pmf, self.average))
+
+    def absorb_block(self, block):
+        self.pmf.absorb_block(block)
+        self.average.absorb_block(block)
+        return self
+
+
+def test_fs_fused_checkpoint_drain(benchmark, ba_graph, results_dir):
+    """Fused advance_into vs the take_trace()/update() drain path."""
+    checkpoints = [
+        FUSED_STEPS * (i + 1) // FUSED_POINTS for i in range(FUSED_POINTS)
+    ]
+
+    def snapshot(method, bundle, checkpoint):
+        return (bundle.average.estimate(), bundle.pmf.estimate())
+
+    plan = ExperimentPlan(
+        title="fused-checkpoint-drain",
+        graph=ba_graph,
+        samplers={"FS": FrontierSampler(FUSED_DIMENSION)},
+        budgets=checkpoints,
+        accumulator=lambda method: _DegreeBundle(ba_graph),
+        snapshot=snapshot,
+        schedule="steps",
+        root_seed=7,
+    )
+
+    # The degree-statistics bundle needs only the per-degree counts, so
+    # every block the engine folds is the (max_degree + 1) int64 array —
+    # O(max_degree) peak increment scratch, not an O(steps) trace.
+    assert _DegreeBundle(ba_graph).fused_needs() == FusedNeeds(
+        degree_counts=True
+    )
+
+    started = time.perf_counter()
+    fused = run_once(
+        benchmark, lambda: run_plan(plan, replicates=FUSED_REPLICATES)
+    )
+    fused_seconds = time.perf_counter() - started
+
+    os.environ["REPRO_NO_FUSED"] = "1"
+    try:
+        started = time.perf_counter()
+        drained = run_plan(plan, replicates=FUSED_REPLICATES)
+        drained_seconds = time.perf_counter() - started
+    finally:
+        del os.environ["REPRO_NO_FUSED"]
+    ratio = drained_seconds / fused_seconds
+
+    # Fusion is a memory/speed knob, never a statistics change: every
+    # snapshot (average-degree estimate and full PMF dict) matches the
+    # drained path bit for bit.
+    assert fused.methods["FS"].rows == drained.methods["FS"].rows
+    assert (
+        fused.methods["FS"].steps_taken == drained.methods["FS"].steps_taken
+    )
+
+    report = "\n".join(
+        [
+            "",
+            f"Fused checkpoint sweep ({FUSED_POINTS} points to"
+            f" {FUSED_STEPS:,} FS steps, m={FUSED_DIMENSION},"
+            f" {FUSED_REPLICATES} replicates,"
+            f" native kernels: {_native.available()})",
+            f"  drain (take_trace/update): {drained_seconds * 1e3:8.1f} ms",
+            f"  fused advance_into:        {fused_seconds * 1e3:8.1f} ms"
+            f" ({ratio:.2f}x, floor {FUSED_FLOOR}x)",
+        ]
+    )
+    path = results_dir / "engine_speed.txt"
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(report + "\n")
+
+    if not _native.available():
+        pytest.skip(
+            "no native kernels: both paths run interpreted numpy with"
+            f" comparable constants; measured {ratio:.2f}x (not gated)"
+        )
+    assert ratio >= FUSED_FLOOR, (
+        f"fused advance_into is only {ratio:.2f}x the drain path"
+        f" (floor {FUSED_FLOOR}x)"
     )

@@ -28,6 +28,7 @@ interpreted estimators to ~1e-12 relative (the parity goldens in
 from __future__ import annotations
 
 import math
+from collections import OrderedDict
 from typing import Callable, Dict, Hashable, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -47,22 +48,40 @@ def is_array_trace(trace) -> bool:
     return isinstance(trace, ArrayWalkTrace)
 
 
+#: Versions retained in each adjacency-list graph's degree-array LRU.
+#: Estimators that interleave a couple of graph snapshots (e.g. an
+#: evolving-graph sweep alternating between two versions) stay cached;
+#: a long mutate-estimate loop holds at most this many O(n) arrays
+#: instead of growing without bound.
+_DEGREE_CACHE_VERSIONS = 4
+
+
 def degrees_of(graph: GraphLike) -> np.ndarray:
     """The degree sequence as an int64 array, cached per graph version.
 
     :class:`CSRGraph` computes it as one ``diff``; for an
     adjacency-list :class:`Graph` the converted array is cached on the
-    instance (keyed by its mutation counter, like the CSR cache) so
-    repeated estimator calls don't re-pay the list-to-array copy.
+    instance in a small per-version LRU (keyed by its mutation
+    counter, like the CSR cache) so repeated estimator calls don't
+    re-pay the list-to-array copy.  The LRU keeps the
+    :data:`_DEGREE_CACHE_VERSIONS` most recently used versions, so the
+    cache stays O(1) arrays even when the graph mutates between calls.
     """
     if isinstance(graph, CSRGraph):
         return graph.degrees()
-    cached = getattr(graph, "_degree_array_cache", None)
+    cache = getattr(graph, "_degree_array_cache", None)
+    if not isinstance(cache, OrderedDict):
+        cache = OrderedDict()
+        graph._degree_array_cache = cache
     version = graph.version
-    if cached is not None and cached[0] == version:
-        return cached[1]
-    array = np.asarray(graph.degrees(), dtype=np.int64)
-    graph._degree_array_cache = (version, array)
+    array = cache.get(version)
+    if array is None:
+        array = np.asarray(graph.degrees(), dtype=np.int64)
+        cache[version] = array
+        while len(cache) > _DEGREE_CACHE_VERSIONS:
+            cache.popitem(last=False)
+    else:
+        cache.move_to_end(version)
     return array
 
 

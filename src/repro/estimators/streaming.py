@@ -23,6 +23,17 @@ same numpy kernels as :mod:`repro.estimators._vectorized`; list-backed
 increments run the tuple loops.  Either way the final estimate matches
 the batch estimator on the concatenated trace to ≤1e-12 (only float
 summation association differs), which the parity tests pin down.
+
+Fused blocks: accumulators that need only the eq. (7)/(9) sufficient
+statistics also absorb a
+:class:`~repro.sampling.fused.FusedBlock` — the exact-integer
+(degree-count / visit-count / edge-key) record the fused C kernels
+fill while advancing a session — via :meth:`absorb_block`.  Such an
+accumulator advertises its block requirements through
+:meth:`fused_needs`; the array-backed drain path and the block path
+deliberately share one count-based float reduction per estimator
+(``count / degree`` summed over distinct values), so fused and drained
+runs produce **bit-identical** estimates, not merely 1e-12-close ones.
 """
 
 from __future__ import annotations
@@ -36,6 +47,7 @@ from repro.estimators import _vectorized
 from repro.estimators.degree import _dense
 from repro.graph.labels import EdgeLabeling, VertexLabeling
 from repro.sampling.base import VertexTrace, WalkTrace
+from repro.sampling.fused import FusedBlock, FusedNeeds
 from repro.util.stats import ccdf_from_pmf
 
 Label = Hashable
@@ -92,6 +104,33 @@ class StreamingEstimator(abc.ABC):
         if "graph" in self.__dict__:
             self.graph = graph
 
+    def fused_needs(self) -> Optional[FusedNeeds]:
+        """Block statistics this accumulator can absorb, or ``None``.
+
+        ``None`` (the default) marks the accumulator as drain-only:
+        sessions and the engine must feed it ``take_trace()``
+        increments.  Subclasses that consume only eq. (7)/(9)
+        sufficient statistics override this to return their
+        :class:`~repro.sampling.fused.FusedNeeds`.
+        """
+        return None
+
+    def absorb_block(self, block: FusedBlock) -> "StreamingEstimator":
+        """Consume one fused accumulator block; returns self.
+
+        Empty blocks (no stat-bearing steps) are no-ops, mirroring
+        :meth:`update` on an empty increment.
+        """
+        if block.steps:
+            self._absorb_block(block)
+        return self
+
+    def _absorb_block(self, block: FusedBlock) -> None:
+        raise TypeError(
+            f"{type(self).__name__} cannot absorb fused blocks; feed it"
+            " trace increments instead"
+        )
+
     @abc.abstractmethod
     def _update_array(self, trace) -> None: ...
 
@@ -141,13 +180,15 @@ class StreamingDegreePMF(StreamingEstimator):
         self._latch("walk")
         targets = trace.step_targets
         walking = _vectorized.degrees_of(self.graph)[targets]
-        inv_deg = 1.0 / walking
         if self.degree_of is None:
-            labels = walking
-        else:
-            labels = _vectorized._map_unique(
-                targets, self.degree_of, dtype=np.int64
-            )
+            # Same count-based reduction as the fused-block path, so
+            # drained and fused runs stay bit-identical.
+            self._absorb_degree_counts(np.bincount(walking))
+            return
+        inv_deg = 1.0 / walking
+        labels = _vectorized._map_unique(
+            targets, self.degree_of, dtype=np.int64
+        )
         histogram = np.bincount(labels, weights=inv_deg)
         for key in np.flatnonzero(histogram).tolist():
             self._weighted[key] = self._weighted.get(key, 0.0) + float(
@@ -155,6 +196,33 @@ class StreamingDegreePMF(StreamingEstimator):
             )
         self._normalizer += float(inv_deg.sum())
         self._samples += int(targets.size)
+
+    def _absorb_degree_counts(self, counts: np.ndarray) -> None:
+        """Fold exact per-degree visit counts into the running sums."""
+        degrees = np.flatnonzero(counts)
+        weighted = counts[degrees].astype(np.float64) / degrees.astype(
+            np.float64
+        )
+        for key, value in zip(degrees.tolist(), weighted.tolist()):
+            self._weighted[key] = self._weighted.get(key, 0.0) + value
+        self._normalizer += float(weighted.sum())
+        self._samples += int(counts.sum())
+
+    def fused_needs(self) -> Optional[FusedNeeds]:
+        """Degree counts suffice — unless ``degree_of`` relabels.
+
+        A custom ``degree_of`` histograms a function of the *vertex*,
+        which a per-degree count cannot reconstruct, so that
+        configuration stays on the drain path.
+        """
+        if self.degree_of is not None:
+            return None
+        return FusedNeeds(degree_counts=True)
+
+    def _absorb_block(self, block: FusedBlock) -> None:
+        self._latch("walk")
+        assert block.deg_counts is not None
+        self._absorb_degree_counts(block.deg_counts)
 
     def _update_list(self, trace: WalkTrace) -> None:
         self._latch("walk")
@@ -240,14 +308,29 @@ class StreamingAverageDegree(StreamingEstimator):
 
     def _update_array(self, trace) -> None:
         degrees = _vectorized.degrees_of(self.graph)[trace.step_targets]
-        self._inverse_sum += float((1.0 / degrees).sum())
-        self._steps += int(trace.step_targets.size)
+        self._absorb_degree_counts(np.bincount(degrees))
+
+    def _absorb_degree_counts(self, counts: np.ndarray) -> None:
+        """Count-based ``S`` update shared with the fused-block path."""
+        degrees = np.flatnonzero(counts)
+        contributions = counts[degrees].astype(np.float64) / degrees.astype(
+            np.float64
+        )
+        self._inverse_sum += float(contributions.sum())
+        self._steps += int(counts.sum())
 
     def _update_list(self, trace: WalkTrace) -> None:
         graph = self.graph
         for _, v in trace.edges:
             self._inverse_sum += 1.0 / graph.degree(v)
             self._steps += 1
+
+    def fused_needs(self) -> Optional[FusedNeeds]:
+        return FusedNeeds(degree_counts=True)
+
+    def _absorb_block(self, block: FusedBlock) -> None:
+        assert block.deg_counts is not None
+        self._absorb_degree_counts(block.deg_counts)
 
     def estimate(self) -> float:
         if self._steps == 0:
@@ -270,12 +353,38 @@ class StreamingVertexDensity(StreamingEstimator):
         self._normalizer = 0.0
 
     def _update_array(self, trace) -> None:
-        sums, normalizer = _vectorized.weighted_label_sums(
-            self.graph, trace, self.labeling, self.labels
-        )
-        self._normalizer += normalizer
+        unique, counts = np.unique(trace.step_targets, return_counts=True)
+        self._absorb_visit_counts(unique, counts)
+
+    def _absorb_visit_counts(
+        self, vertices: np.ndarray, counts: np.ndarray
+    ) -> None:
+        """Per-vertex count-based eq. (7) update (fused/drained shared).
+
+        Each distinct vertex contributes ``count / deg`` in one float
+        operation — the association both paths use, keeping them
+        bit-identical.
+        """
+        weights = counts.astype(np.float64) / _vectorized.degrees_of(
+            self.graph
+        )[vertices].astype(np.float64)
+        self._normalizer += float(weights.sum())
+        label_sets = [self.labeling.labels_of(int(v)) for v in vertices]
         for label in self.labels:
-            self._weighted[label] += sums[label]
+            indicator = np.fromiter(
+                (label in labels_of_v for labels_of_v in label_sets),
+                dtype=np.float64,
+                count=vertices.size,
+            )
+            self._weighted[label] += float((indicator * weights).sum())
+
+    def fused_needs(self) -> Optional[FusedNeeds]:
+        return FusedNeeds(visit_counts=True)
+
+    def _absorb_block(self, block: FusedBlock) -> None:
+        assert block.visit_counts is not None
+        vertices = np.flatnonzero(block.visit_counts)
+        self._absorb_visit_counts(vertices, block.visit_counts[vertices])
 
     def _update_list(self, trace: WalkTrace) -> None:
         graph, wanted = self.graph, set(self.labels)
@@ -298,6 +407,21 @@ class StreamingVertexDensity(StreamingEstimator):
 # ----------------------------------------------------------------------
 # eq. (5)/(9): edge accumulators
 # ----------------------------------------------------------------------
+def _decode_edge_keys(block: FusedBlock):
+    """Distinct edges of a block, in the drained path's order.
+
+    Keys are ``u * key_base + v`` with ``key_base = num_vertices``;
+    ``np.unique`` therefore yields the edges sorted by ``(u, v)`` —
+    the same sequence ``_vectorized._unique_edges`` produces from the
+    step arrays (its base differs, but any base above the maximum
+    target sorts keys identically), so per-edge float accumulation
+    happens in exactly the same order on both paths.
+    """
+    unique, counts = np.unique(block.edge_key_array(), return_counts=True)
+    base = np.int64(block.key_base)
+    return unique // base, unique % base, counts
+
+
 class StreamingEdgeDensity(StreamingEstimator):
     """Eq. (5) accumulator: label fractions over the labeled edges.
 
@@ -323,8 +447,19 @@ class StreamingEdgeDensity(StreamingEstimator):
         us, vs, counts = _vectorized._unique_edges(
             trace.step_sources, trace.step_targets
         )
+        self._consume_edges(us, vs, counts)
+
+    def _consume_edges(
+        self, us: np.ndarray, vs: np.ndarray, counts: np.ndarray
+    ) -> None:
         for u, v, count in zip(us.tolist(), vs.tolist(), counts.tolist()):
             self._consume(u, v, count)
+
+    def fused_needs(self) -> Optional[FusedNeeds]:
+        return FusedNeeds(edge_keys=True)
+
+    def _absorb_block(self, block: FusedBlock) -> None:
+        self._consume_edges(*_decode_edge_keys(block))
 
     def _update_list(self, trace: WalkTrace) -> None:
         for u, v in trace.edges:
@@ -360,11 +495,22 @@ class StreamingEdgeFunctional(StreamingEstimator):
         us, vs, counts = _vectorized._unique_edges(
             trace.step_sources, trace.step_targets
         )
+        self._consume_edges(us, vs, counts)
+
+    def _consume_edges(
+        self, us: np.ndarray, vs: np.ndarray, counts: np.ndarray
+    ) -> None:
         for u, v, count in zip(us.tolist(), vs.tolist(), counts.tolist()):
             if self.membership is not None and not self.membership(u, v):
                 continue
             self._total += self.f(u, v) * count
             self._relevant += count
+
+    def fused_needs(self) -> Optional[FusedNeeds]:
+        return FusedNeeds(edge_keys=True)
+
+    def _absorb_block(self, block: FusedBlock) -> None:
+        self._consume_edges(*_decode_edge_keys(block))
 
     def _update_list(self, trace: WalkTrace) -> None:
         for u, v in trace.edges:
@@ -400,16 +546,30 @@ class StreamingGraphSize(StreamingEstimator):
         self._visits: Dict[int, int] = {}
 
     def _update_array(self, trace) -> None:
-        visited = trace.step_targets
-        degrees = _vectorized.degrees_of(self.graph)[visited].astype(
+        unique, counts = np.unique(trace.step_targets, return_counts=True)
+        self._absorb_visit_counts(unique, counts)
+
+    def _absorb_visit_counts(
+        self, vertices: np.ndarray, counts: np.ndarray
+    ) -> None:
+        """Count-based Psi/collision update shared with the fused path."""
+        degrees = _vectorized.degrees_of(self.graph)[vertices].astype(
             np.float64
         )
-        self._inverse_sum += float((1.0 / degrees).sum())
-        self._degree_sum += float(degrees.sum())
-        self._samples += int(visited.size)
-        unique, counts = np.unique(visited, return_counts=True)
-        for v, count in zip(unique.tolist(), counts.tolist()):
+        weights = counts.astype(np.float64)
+        self._inverse_sum += float((weights / degrees).sum())
+        self._degree_sum += float((weights * degrees).sum())
+        self._samples += int(counts.sum())
+        for v, count in zip(vertices.tolist(), counts.tolist()):
             self._visits[v] = self._visits.get(v, 0) + count
+
+    def fused_needs(self) -> Optional[FusedNeeds]:
+        return FusedNeeds(visit_counts=True)
+
+    def _absorb_block(self, block: FusedBlock) -> None:
+        assert block.visit_counts is not None
+        vertices = np.flatnonzero(block.visit_counts)
+        self._absorb_visit_counts(vertices, block.visit_counts[vertices])
 
     def _update_list(self, trace: WalkTrace) -> None:
         graph = self.graph

@@ -15,7 +15,12 @@ and snapshot hooks — and :func:`run_plan` executes it:
 - **streaming estimation**: at every checkpoint the session's trace
   increment is drained (``take_trace``) into the plan's accumulator —
   typically one of :mod:`repro.estimators.streaming` — and the plan's
-  ``snapshot`` hook records the measurement;
+  ``snapshot`` hook records the measurement.  When every accumulator
+  part is fuse-capable (exposes ``fused_needs()``), in-process runs
+  skip the drain entirely and use ``SamplerSession.advance_into`` —
+  the fused C kernels fold the eq. (7)/(9) sufficient statistics
+  while walking, with bit-identical rows (``REPRO_NO_FUSED=1``
+  forces the drain path everywhere);
 - **multi-process fan-out**: ``run_plan(plan, replicates, procs=N)``
   ships the replicates of pool-capable samplers to a spawn-safe
   :class:`~repro.sampling.sharded.ShardedSessionPool` sharing the
@@ -53,6 +58,7 @@ from __future__ import annotations
 
 import random
 from contextlib import nullcontext
+from functools import partial
 from dataclasses import dataclass, field
 from typing import (
     Any,
@@ -77,6 +83,7 @@ from repro.sampling.base import (
     check_backend,
     use_backend,
 )
+from repro.sampling.fused import fusion_disabled, merge_needs
 from repro.sampling.session import (
     default_session_starter,
     drain_session_checkpoints,
@@ -488,6 +495,72 @@ def _replicate_anytime(
         yield row
 
 
+def _replicate_anytime_fused(
+    sampler: Any,
+    graph: Any,
+    checkpoints: List[float],
+    replicates: int,
+    seed: int,
+    starter: Starter,
+    schedule: str,
+    backend: Optional[Backend],
+    accumulator_factory: Callable[[], Any],
+    snapshot: Callable[[str, Any, float], Any],
+    method: str,
+) -> Iterator[Tuple[List[Any], int]]:
+    """Fused anytime replication: ``advance_into`` instead of drain.
+
+    The checkpoint loop mirrors :func:`~repro.sampling.session.
+    drain_session_checkpoints` step for step (``steps`` schedules
+    advance by ``checkpoint - steps_taken``, ``budget`` schedules by
+    the checkpoint itself), but hands each checkpoint's statistics to
+    the accumulator as a fused block rather than materializing an
+    O(steps) trace increment.  Block absorption happens at the same
+    per-checkpoint boundaries the drain path updates at, so the rows
+    are bit-identical — fusion is a memory/speed knob, never a
+    statistics change.  Yields ``(snapshot_row, steps)`` in replicate
+    order.  Sessions opened by custom starters that predate
+    ``advance_into`` fall back to the drain loop per replicate.
+    """
+    for index in range(replicates):
+        context = (
+            use_backend(backend) if backend is not None else nullcontext()
+        )
+        with context:
+            session = starter(sampler, graph, seed, index)
+            accumulator = accumulator_factory()
+            row: List[Any] = []
+            if getattr(session, "advance_into", None) is None:
+                increments, steps = drain_session_checkpoints(
+                    session, schedule, checkpoints
+                )
+                for checkpoint, increment in zip(checkpoints, increments):
+                    accumulator.update(increment)
+                    row.append(snapshot(method, accumulator, checkpoint))
+            else:
+                try:
+                    for checkpoint in checkpoints:
+                        if schedule == "steps":
+                            session.advance_into(
+                                accumulator,
+                                steps=max(
+                                    0,
+                                    int(checkpoint) - session.steps_taken,
+                                ),
+                            )
+                        else:
+                            session.advance_into(
+                                accumulator, budget=checkpoint
+                            )
+                        row.append(snapshot(method, accumulator, checkpoint))
+                    steps = int(session.steps_taken)
+                finally:
+                    closer = getattr(session, "close", None)
+                    if closer is not None:
+                        closer()
+        yield row, steps
+
+
 def run_plan(
     plan: ExperimentPlan,
     replicates: int,
@@ -548,6 +621,19 @@ def run_plan(
             seed = plan.seed_for(method, method_index)
             starter = plan.starter_for(method)
             pooled = procs is not None and _pool_capable(sampler)
+            # The fused path engages only for in-process replication of
+            # plans whose every accumulator part can absorb fused
+            # blocks (probed on a throwaway accumulator); pooled runs
+            # keep the drain loop — their workers already stream
+            # increments back, and the drain path is bit-identical.
+            fused = (
+                not pooled
+                and not fusion_disabled()
+                and merge_needs((plan.accumulator_for(method),)) is not None
+            )
+            run = MethodRun(
+                method=method, checkpoints=checkpoints, pooled=pooled
+            )
             if pooled:
                 if pool is None:
                     from repro.sampling.sharded import ShardedSessionPool
@@ -564,6 +650,24 @@ def run_plan(
                     starter=starter,
                     lazy=True,
                 )
+            elif fused:
+                for row, steps in _replicate_anytime_fused(
+                    sampler,
+                    graph,
+                    checkpoints,
+                    replicates,
+                    seed,
+                    starter,
+                    plan.schedule,
+                    plan.backend,
+                    partial(plan.accumulator_for, method),
+                    snapshot,
+                    method,
+                ):
+                    run.rows.append(row)
+                    run.steps_taken.append(int(steps))
+                result.methods[method] = run
+                continue
             else:
                 raw = _replicate_anytime(
                     sampler,
@@ -575,9 +679,6 @@ def run_plan(
                     plan.schedule,
                     plan.backend,
                 )
-            run = MethodRun(
-                method=method, checkpoints=checkpoints, pooled=pooled
-            )
             for increments, steps in raw:
                 accumulator = plan.accumulator_for(method)
                 row: List[Any] = []

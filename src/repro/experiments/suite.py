@@ -69,6 +69,7 @@ from repro.estimators.streaming import (
     StreamingGraphSize,
 )
 from repro.experiments.engine import ExperimentPlan, run_plan
+from repro.sampling.fused import merge_needs
 from repro.generators.ba import barabasi_albert
 from repro.generators.er import erdos_renyi_gnm
 from repro.generators.smallworld import watts_strogatz
@@ -383,6 +384,16 @@ class _EstimatorBundle:
     def update(self, increment) -> "_EstimatorBundle":
         for part in self._parts.values():
             part.update(increment)
+        return self
+
+    def fused_needs(self):
+        """The union of every part's needs — ``None`` (drain path)
+        unless ALL parts can absorb fused blocks."""
+        return merge_needs(self._parts.values())
+
+    def absorb_block(self, block) -> "_EstimatorBundle":
+        for part in self._parts.values():
+            part.absorb_block(block)
         return self
 
     def values(self) -> Dict[str, Any]:

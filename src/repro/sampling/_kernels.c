@@ -18,6 +18,38 @@
  * graph.  Keep them stateless — no static/global storage, no
  * allocation, writes only to the caller-owned output buffers (and,
  * for FS, the caller's private frontier array).
+ *
+ * Fused walk+accumulate variants (repro_rw_steps_acc,
+ * repro_fs_steps_acc, repro_mh_steps_acc): advance the walker state
+ * with the EXACT draw protocol and transition arithmetic of the plain
+ * kernel above it — bit-identical walker state — but instead of
+ * materializing per-step trace arrays they fold each stat-bearing
+ * step (the step's target vertex; for MH, accepted proposals only)
+ * into a caller-owned accumulator block:
+ *
+ *   deg_counts[deg(target)]++   exact int64 per-degree visit counts,
+ *                               length max_degree + 1
+ *   visit_counts[target]++      exact int64 per-vertex visit counts,
+ *                               length num_vertices
+ *   edge_keys[k] = u * key_base + v
+ *                               append-order edge keys; key_base is
+ *                               num_vertices, so keys decode uniquely
+ *                               and sort in (u, v) order
+ *
+ * Any block pointer may be NULL to skip that statistic (ctypes maps
+ * Python None to NULL).  repro_fs_steps_acc additionally takes a
+ * caller-owned `fenwick` scratch buffer (length m + 1, or NULL) and
+ * replaces the per-step O(m) cumulative-degree scan with an O(log m)
+ * binary-indexed-tree descent over the same exact int64 prefix sums —
+ * selecting the identical walker and edge offset, so the fused walk
+ * stays bit-equal to the plain kernel.  All block contents are exact
+ * integers;
+ * float statistics (1/deg reweighting, eq. (7)/(9) sums) are derived
+ * in Python from the counts so that the fused, pure-Python-fused and
+ * drained estimator paths produce bit-identical results.  Counts are
+ * INCREMENTED, never zeroed, so multi-walker sessions may fold many
+ * kernel calls into one block.  The same reentrancy contract applies:
+ * the block buffers are caller-owned and private to one call chain.
  */
 
 #include <stdint.h>
@@ -41,6 +73,31 @@ void repro_rw_steps(const int64_t *indptr, const int64_t *indices,
         out_v[k] = next;
         current = next;
     }
+}
+
+/* Fused simple random walk: same draws and transitions as
+ * repro_rw_steps, folding each step's target into the accumulator
+ * block instead of writing trace arrays.
+ * Returns the final walker position. */
+int64_t repro_rw_steps_acc(const int64_t *indptr, const int64_t *indices,
+                           int64_t start, int64_t steps,
+                           const double *uniforms, int64_t key_base,
+                           int64_t *deg_counts, int64_t *visit_counts,
+                           int64_t *edge_keys) {
+    int64_t current = start;
+    for (int64_t k = 0; k < steps; k++) {
+        int64_t row = indptr[current];
+        int64_t degree = indptr[current + 1] - row;
+        int64_t next = indices[row + scale_uniform(uniforms[k], degree)];
+        if (deg_counts)
+            deg_counts[indptr[next + 1] - indptr[next]]++;
+        if (visit_counts)
+            visit_counts[next]++;
+        if (edge_keys)
+            edge_keys[k] = current * key_base + next;
+        current = next;
+    }
+    return current;
 }
 
 /* m-dimensional Frontier Sampling.
@@ -102,6 +159,100 @@ int64_t repro_fs_steps(const int64_t *indptr, const int64_t *indices,
     return 0;
 }
 
+/* Fused Frontier Sampling: same draws, walker selection and frontier
+ * updates as repro_fs_steps, folding each step's target into the
+ * accumulator block instead of writing trace arrays.
+ * Returns 0, or -1 if the frontier's total degree is ever <= 0. */
+int64_t repro_fs_steps_acc(const int64_t *indptr, const int64_t *indices,
+                           int64_t *frontier, int64_t m, int64_t steps,
+                           int64_t degree_selection, const double *uniforms,
+                           int64_t key_base, int64_t *deg_counts,
+                           int64_t *visit_counts, int64_t *edge_keys,
+                           int64_t *fenwick) {
+    int64_t total = 0;
+    for (int64_t i = 0; i < m; i++)
+        total += indptr[frontier[i] + 1] - indptr[frontier[i]];
+    /* `fenwick` (caller-owned scratch, length m + 1; NULL falls back
+     * to the plain kernel's linear scan) holds a binary indexed tree
+     * over the frontier degree vector.  Degrees are exact int64, so
+     * prefix sums have no rounding: the O(log m) descent selects the
+     * SAME (walker, edge offset) pair as the linear scan — the
+     * speedup is bit-identical, not approximate. */
+    int64_t top_bit = 0;
+    if (degree_selection && fenwick) {
+        for (int64_t i = 0; i <= m; i++)
+            fenwick[i] = 0;
+        for (int64_t i = 0; i < m; i++) {
+            int64_t degree = indptr[frontier[i] + 1] - indptr[frontier[i]];
+            for (int64_t j = i + 1; j <= m; j += j & (-j))
+                fenwick[j] += degree;
+        }
+        top_bit = 1;
+        while (top_bit * 2 <= m)
+            top_bit *= 2;
+    }
+    for (int64_t k = 0; k < steps; k++) {
+        int64_t idx, offset;
+        if (degree_selection) {
+            if (total <= 0)
+                return -1;
+            int64_t target = scale_uniform(uniforms[k], total);
+            if (fenwick) {
+                /* Largest pos with prefix_degree(pos) <= target; the
+                 * walker bucket [prefix(idx), prefix(idx + 1)) holding
+                 * `target` (zero-degree buckets are empty, matching
+                 * the scan's skip).  target < total keeps pos < m. */
+                int64_t pos = 0, rem = target;
+                for (int64_t bit = top_bit; bit; bit >>= 1) {
+                    int64_t nxt = pos + bit;
+                    if (nxt <= m && fenwick[nxt] <= rem) {
+                        pos = nxt;
+                        rem -= fenwick[nxt];
+                    }
+                }
+                idx = pos;
+                offset = rem;
+            } else {
+                int64_t acc = 0;
+                idx = 0;
+                for (;;) {
+                    int64_t vertex = frontier[idx];
+                    int64_t degree = indptr[vertex + 1] - indptr[vertex];
+                    if (target < acc + degree) {
+                        offset = target - acc;
+                        break;
+                    }
+                    acc += degree;
+                    idx++; /* target < total guarantees idx stays < m */
+                }
+            }
+        } else {
+            idx = scale_uniform(uniforms[2 * k], m);
+            int64_t vertex = frontier[idx];
+            int64_t degree = indptr[vertex + 1] - indptr[vertex];
+            if (degree <= 0)
+                return -1;
+            offset = scale_uniform(uniforms[2 * k + 1], degree);
+        }
+        int64_t current = frontier[idx];
+        int64_t old_degree = indptr[current + 1] - indptr[current];
+        int64_t next = indices[indptr[current] + offset];
+        int64_t new_degree = indptr[next + 1] - indptr[next];
+        if (deg_counts)
+            deg_counts[new_degree]++;
+        if (visit_counts)
+            visit_counts[next]++;
+        if (edge_keys)
+            edge_keys[k] = current * key_base + next;
+        frontier[idx] = next;
+        total += new_degree - old_degree;
+        if (degree_selection && fenwick && new_degree != old_degree)
+            for (int64_t j = idx + 1; j <= m; j += j & (-j))
+                fenwick[j] += new_degree - old_degree;
+    }
+    return 0;
+}
+
 /* Metropolis-Hastings walk targeting the uniform vertex law.
  * Draws: two uniforms per step (proposal offset, accept test).
  * Accept iff u2 * deg(proposal) < deg(current), i.e. with probability
@@ -127,5 +278,38 @@ int64_t repro_mh_steps(const int64_t *indptr, const int64_t *indices,
         }
         out_visited[k] = current;
     }
+    return accepted;
+}
+
+/* Fused Metropolis-Hastings walk: same draws and accept rule as
+ * repro_mh_steps, folding each ACCEPTED proposal into the accumulator
+ * block (the streaming estimators consume accepted transitions only;
+ * edge_keys is filled densely over [0, accepted)).  Writes the final
+ * walker position to out_state[0] and returns the accepted count. */
+int64_t repro_mh_steps_acc(const int64_t *indptr, const int64_t *indices,
+                           int64_t start, int64_t steps,
+                           const double *uniforms, int64_t key_base,
+                           int64_t *deg_counts, int64_t *visit_counts,
+                           int64_t *edge_keys, int64_t *out_state) {
+    int64_t current = start;
+    int64_t accepted = 0;
+    for (int64_t k = 0; k < steps; k++) {
+        int64_t row = indptr[current];
+        int64_t deg_u = indptr[current + 1] - row;
+        int64_t proposal =
+            indices[row + scale_uniform(uniforms[2 * k], deg_u)];
+        int64_t deg_v = indptr[proposal + 1] - indptr[proposal];
+        if (uniforms[2 * k + 1] * (double)deg_v < (double)deg_u) {
+            if (deg_counts)
+                deg_counts[deg_v]++;
+            if (visit_counts)
+                visit_counts[proposal]++;
+            if (edge_keys)
+                edge_keys[accepted] = current * key_base + proposal;
+            accepted++;
+            current = proposal;
+        }
+    }
+    out_state[0] = current;
     return accepted;
 }

@@ -82,6 +82,27 @@ _DECLARATIONS: Dict[str, Tuple[str, Tuple[str, ...]]] = {
         "i64",
         ("i64*", "i64*", "i64", "i64", "f64*", "i64*", "i64*", "i64*"),
     ),
+    "repro_rw_steps_acc": (
+        "i64",
+        (
+            "i64*", "i64*", "i64", "i64", "f64*",
+            "i64", "i64*", "i64*", "i64*",
+        ),
+    ),
+    "repro_fs_steps_acc": (
+        "i64",
+        (
+            "i64*", "i64*", "i64*", "i64", "i64", "i64",
+            "f64*", "i64", "i64*", "i64*", "i64*", "i64*",
+        ),
+    ),
+    "repro_mh_steps_acc": (
+        "i64",
+        (
+            "i64*", "i64*", "i64", "i64", "f64*",
+            "i64", "i64*", "i64*", "i64*", "i64*",
+        ),
+    ),
 }
 
 #: tri-state: None = not attempted yet; False = unavailable;
@@ -260,6 +281,13 @@ def _f64(array: np.ndarray) -> "ctypes._Pointer[ctypes.c_double]":
     return array.ctypes.data_as(_DP)
 
 
+def _i64_opt(
+    array: Optional[np.ndarray],
+) -> Optional["ctypes._Pointer[ctypes.c_int64]"]:
+    """Optional block buffer: ``None`` becomes a NULL pointer."""
+    return None if array is None else _i64(array)
+
+
 def rw_steps(
     indptr: np.ndarray,
     indices: np.ndarray,
@@ -321,3 +349,90 @@ def mh_steps(
         _i64(out_eu), _i64(out_ev), _i64(out_visited),
     )
     return out_eu[:accepted], out_ev[:accepted], out_visited
+
+
+def rw_steps_acc(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    start: int,
+    steps: int,
+    uniforms: np.ndarray,
+    key_base: int,
+    deg_counts: Optional[np.ndarray],
+    visit_counts: Optional[np.ndarray],
+    edge_keys: Optional[np.ndarray],
+) -> int:
+    """Fused SRW steps: accumulate into the block buffers in place.
+
+    Returns the final walker position.  Any block buffer may be
+    ``None`` to skip that statistic.
+    """
+    lib = _lib()
+    final = lib.repro_rw_steps_acc(
+        _i64(indptr), _i64(indices), start, steps, _f64(uniforms),
+        key_base, _i64_opt(deg_counts), _i64_opt(visit_counts),
+        _i64_opt(edge_keys),
+    )
+    return int(final)
+
+
+def fs_steps_acc(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    frontier: np.ndarray,
+    steps: int,
+    degree_selection: bool,
+    uniforms: np.ndarray,
+    key_base: int,
+    deg_counts: Optional[np.ndarray],
+    visit_counts: Optional[np.ndarray],
+    edge_keys: Optional[np.ndarray],
+) -> None:
+    """Fused FS steps: mutates ``frontier`` and the block in place.
+
+    Degree-weighted selection hands the kernel an O(m) Fenwick scratch
+    so the per-step walker search is O(log m) instead of O(m) — same
+    exact int64 prefix sums, so the selected walkers (and therefore
+    the whole walk) are bit-identical to the linear-scan kernel.
+    """
+    lib = _lib()
+    fenwick = (
+        np.empty(len(frontier) + 1, dtype=np.int64)
+        if degree_selection
+        else None
+    )
+    status = lib.repro_fs_steps_acc(
+        _i64(indptr), _i64(indices), _i64(frontier), len(frontier), steps,
+        1 if degree_selection else 0, _f64(uniforms), key_base,
+        _i64_opt(deg_counts), _i64_opt(visit_counts), _i64_opt(edge_keys),
+        _i64_opt(fenwick),
+    )
+    if status != 0:
+        raise ValueError("frontier reached a state with zero total degree")
+
+
+def mh_steps_acc(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    start: int,
+    steps: int,
+    uniforms: np.ndarray,
+    key_base: int,
+    deg_counts: Optional[np.ndarray],
+    visit_counts: Optional[np.ndarray],
+    edge_keys: Optional[np.ndarray],
+) -> Tuple[int, int]:
+    """Fused MH steps over accepted proposals only.
+
+    ``edge_keys``, when supplied, must hold ``steps`` slots; the kernel
+    fills the first ``accepted`` of them.  Returns
+    ``(accepted, final_position)``.
+    """
+    lib = _lib()
+    out_state = np.empty(1, dtype=np.int64)
+    accepted = lib.repro_mh_steps_acc(
+        _i64(indptr), _i64(indices), start, steps, _f64(uniforms),
+        key_base, _i64_opt(deg_counts), _i64_opt(visit_counts),
+        _i64_opt(edge_keys), _i64(out_state),
+    )
+    return int(accepted), int(out_state[0])

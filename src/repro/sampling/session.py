@@ -48,6 +48,12 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro.sampling import vectorized
+from repro.sampling.fused import (
+    FusedBlock,
+    FusedNeeds,
+    fusion_disabled,
+    merge_needs,
+)
 from repro.sampling.base import (
     Edge,
     VertexTrace,
@@ -211,6 +217,48 @@ class SamplerSession(abc.ABC):
         )
         return delta
 
+    def advance_into(
+        self,
+        accumulators: Any,
+        steps: Optional[int] = None,
+        budget: Optional[float] = None,
+    ) -> int:
+        """Advance and fold the new steps straight into accumulators.
+
+        ``accumulators`` is one accumulator or a sequence of them;
+        exactly one of ``steps`` / ``budget`` selects the advance
+        semantics of :meth:`advance` or :meth:`advance_budget`.  Any
+        record still retained from earlier plain advances is folded in
+        too (this method leaves the session drained).  Returns the
+        number of new steps taken.
+
+        This base implementation is the drain path — advance, then
+        ``take_trace()`` → ``update()`` on every accumulator.  The csr
+        sessions override it to run the fused walk+accumulate kernels
+        when every accumulator can absorb a
+        :class:`~repro.sampling.fused.FusedBlock` (and fall back here
+        otherwise, or when ``REPRO_NO_FUSED`` is set); estimates are
+        bit-identical on either path.
+        """
+        parts = _accumulator_parts(accumulators)
+        taken = self._advance_for(steps, budget)
+        increment = self.take_trace()
+        for part in parts:
+            part.update(increment)
+        return taken
+
+    def _advance_for(
+        self, steps: Optional[int], budget: Optional[float]
+    ) -> int:
+        if (steps is None) == (budget is None):
+            raise ValueError(
+                "pass exactly one of steps= or budget= to advance_into()"
+            )
+        if steps is not None:
+            return self.advance(int(steps))
+        assert budget is not None
+        return self.advance_budget(budget)
+
     def take_trace(self) -> Any:
         """Drain: return the trace increment since the last drain.
 
@@ -320,6 +368,13 @@ class SamplerSession(abc.ABC):
             f"{type(self).__name__}(method={self.method!r},"
             f" steps_taken={self.steps_taken}, spent={self.spent():g})"
         )
+
+
+def _accumulator_parts(accumulators: Any) -> List[Any]:
+    """Normalize ``advance_into``'s accumulator argument to a list."""
+    if isinstance(accumulators, (list, tuple)):
+        return list(accumulators)
+    return [accumulators]
 
 
 def default_session_starter(
@@ -698,6 +753,9 @@ class _ArraySession(SamplerSession):
         self._walker_chunks: Optional[List[np.ndarray]] = (
             [] if self._with_walkers else None
         )
+        #: Cached max degree for sizing fused deg_counts blocks (the
+        #: attach-time signature check guarantees it stays valid).
+        self._max_degree: Optional[int] = None
 
     def _draw_seeds(
         self, sampler: Any, generator: np.random.Generator
@@ -743,6 +801,86 @@ class _ArraySession(SamplerSession):
     def _reattach(self, graph: Any) -> None:
         self._fast = _fast_form(graph, self._native)
 
+    # ------------------------------------------------------------------
+    # fused advance
+    # ------------------------------------------------------------------
+    def _has_record(self) -> bool:
+        return bool(self._source_chunks)
+
+    def _fused_block(self, needs: FusedNeeds) -> FusedBlock:
+        if self._max_degree is None:
+            degrees = vectorized.degrees_array(self._fast)
+            self._max_degree = int(degrees.max()) if degrees.size else 0
+        return FusedBlock(
+            needs, int(self._fast.num_vertices), self._max_degree
+        )
+
+    def _advance_acc(self, steps: int, block: FusedBlock) -> None:
+        """Advance ``steps`` via the fused runners, filling ``block``.
+
+        Must leave the walker state (positions, frontier, RNG stream)
+        exactly where :meth:`_advance` would — the fused runners share
+        the plain runners' draw protocol, so this holds by construction.
+        """
+        raise NotImplementedError
+
+    def advance_into(
+        self,
+        accumulators: Any,
+        steps: Optional[int] = None,
+        budget: Optional[float] = None,
+    ) -> int:
+        """Fused advance: walk and accumulate in one kernel pass.
+
+        Engages when every accumulator absorbs fused blocks and
+        ``REPRO_NO_FUSED`` is unset; otherwise defers to the base
+        drain path.  Estimates are bit-identical either way — the
+        estimators share one count-based reduction between their
+        drained and fused paths.
+        """
+        parts = _accumulator_parts(accumulators)
+        needs = merge_needs(parts)
+        if needs is None or fusion_disabled():
+            return super().advance_into(
+                accumulators, steps=steps, budget=budget
+            )
+        if (steps is None) == (budget is None):
+            raise ValueError(
+                "pass exactly one of steps= or budget= to advance_into()"
+            )
+        if self._graph is None:
+            raise RuntimeError(
+                "session is detached; attach a graph with load_session()"
+            )
+        # Fold any record retained from earlier plain advances first,
+        # so mixing advance() and advance_into() loses nothing and
+        # double-counts nothing.
+        if self._has_record():
+            increment = self.take_trace()
+            for part in parts:
+                part.update(increment)
+        if steps is not None:
+            if steps < 0:
+                raise ValueError(f"steps must be >= 0, got {steps}")
+            delta = int(steps)
+        else:
+            delta = max(0, self._target_steps(budget) - self.steps_taken)
+        if delta:
+            block = self._fused_block(needs)
+            self._advance_acc(delta, block)
+            self.steps_taken += delta
+            for part in parts:
+                part.absorb_block(block)
+        # Mirror advance()/advance_budget() budget bookkeeping exactly.
+        if steps is not None:
+            self._stepped_plainly = True
+        else:
+            assert budget is not None
+            self._budget = (
+                budget if self._budget is None else max(self._budget, budget)
+            )
+        return delta
+
 
 class ArraySingleSession(_ArraySession):
     """SingleRW on the csr backend."""
@@ -779,6 +917,11 @@ class ArraySingleSession(_ArraySession):
         )
         self._record_chunk(sources, targets)
         self.position = int(targets[-1])
+
+    def _advance_acc(self, steps: int, block: FusedBlock) -> None:
+        self.position = vectorized.run_random_walk_acc(
+            self._fast, self.position, steps, self.rng, block, self._native
+        )
 
 
 class ArrayMultipleSession(_ArraySession):
@@ -824,6 +967,14 @@ class ArrayMultipleSession(_ArraySession):
                 sources, targets, np.full(steps, idx, dtype=np.int64)
             )
             self.positions[idx] = int(targets[-1])
+
+    def _advance_acc(self, steps: int, block: FusedBlock) -> None:
+        # Walker-by-walker draw blocks, exactly as _advance; integer
+        # block counts make the per-walker fold order-invariant.
+        for idx, start in enumerate(self.positions):
+            self.positions[idx] = vectorized.run_random_walk_acc(
+                self._fast, start, steps, self.rng, block, self._native
+            )
 
 
 class ArrayFrontierSession(_ArraySession):
@@ -880,6 +1031,17 @@ class ArrayFrontierSession(_ArraySession):
         positions[walkers] = targets
         self.frontier = positions.tolist()
 
+    def _advance_acc(self, steps: int, block: FusedBlock) -> None:
+        self.frontier = vectorized.run_frontier_acc(
+            self._fast,
+            self.frontier,
+            steps,
+            self.rng,
+            block,
+            self.walker_selection,
+            self._native,
+        )
+
 
 class ArrayMetropolisSession(_ArraySession):
     """MRW on the csr backend."""
@@ -902,6 +1064,11 @@ class ArrayMetropolisSession(_ArraySession):
         self._record_chunk(edge_sources, edge_targets)
         self._visited_chunks.append(visited)
         self.position = int(visited[-1])
+
+    def _advance_acc(self, steps: int, block: FusedBlock) -> None:
+        self.position = vectorized.run_metropolis_acc(
+            self._fast, self.position, steps, self.rng, block, self._native
+        )
 
     def _units_spent(self) -> float:
         return float(self.steps_taken)  # proposals, not accepted edges

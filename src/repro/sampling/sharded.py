@@ -75,8 +75,14 @@ from repro.sampling.base import (
     require_walkable_seeds,
 )
 from repro.sampling.distributed import DistributedFrontierSampler
+from repro.sampling.fused import (
+    block_from_arrays,
+    fusion_disabled,
+    merge_needs,
+)
 from repro.sampling.session import (
     SamplerSession,
+    _accumulator_parts,
     concat_chunks,
     default_session_starter,
     drain_session_checkpoints,
@@ -618,6 +624,43 @@ class ShardedFrontierSession(_SpawnPoolMixin, SamplerSession):
         self._walker_chunks = []
         self._source_chunks = []
         self._target_chunks = []
+
+    def advance_into(
+        self,
+        accumulators: Any,
+        steps: Optional[int] = None,
+        budget: Optional[float] = None,
+    ) -> int:
+        """Advance, then fold the committed increment as fused blocks.
+
+        The sharded session must materialize per-shard event arrays
+        anyway (the time-ordered merge is what makes shard count a
+        deployment knob), so its fused path folds each committed
+        chunk into a :class:`~repro.sampling.fused.FusedBlock` with
+        the vectorized integer kernels instead of running the C
+        accumulators.  Because every block field is an exact int64
+        count, the per-shard/per-chunk fold order cannot change the
+        result — the merge is time-order-invariant by construction —
+        and estimates stay bit-identical to the drain path.
+        """
+        parts = _accumulator_parts(accumulators)
+        needs = merge_needs(parts)
+        if needs is None or fusion_disabled():
+            return super().advance_into(
+                accumulators, steps=steps, budget=budget
+            )
+        taken = self._advance_for(steps, budget)
+        increment = self.take_trace()
+        if increment.step_targets.size:
+            block = block_from_arrays(
+                needs,
+                self._csr.degrees(),
+                increment.step_sources,
+                increment.step_targets,
+            )
+            for part in parts:
+                part.absorb_block(block)
+        return taken
 
     def _reattach(self, graph: Any) -> None:
         self._csr = get_csr(graph)

@@ -45,6 +45,7 @@ from repro.sampling.base import (
     multiple_walk_steps,
     walk_steps,
 )
+from repro.sampling.fused import FusedBlock
 from repro.util.rng import NpRngLike, ensure_np_rng
 
 GraphLike = Union[Graph, CSRGraph]
@@ -283,6 +284,25 @@ def make_seeds_np(
 # ----------------------------------------------------------------------
 # step kernels (native dispatch + pure-Python mirrors)
 # ----------------------------------------------------------------------
+def _check_frontier_start(graph: GraphLike, positions: np.ndarray) -> None:
+    """Reject isolated frontier seeds, vectorized.
+
+    Sessions re-enter the frontier runners once per advance, so a
+    per-walker Python loop of numpy scalar reads would tax every chunk.
+    """
+    if isinstance(graph, CSRGraph):
+        start_degrees = graph.indptr[positions + 1] - graph.indptr[positions]
+    else:
+        start_degrees = np.asarray(
+            [graph.degree(int(v)) for v in positions], dtype=np.int64
+        )
+    if positions.size and not start_degrees.all():
+        isolated = int(positions[int(np.argmin(start_degrees != 0))])
+        raise ValueError(
+            f"initial vertex {isolated} is isolated; FS cannot walk from it"
+        )
+
+
 def run_random_walk(
     graph: GraphLike,
     start: int,
@@ -335,22 +355,7 @@ def run_frontier(
             f" got {walker_selection!r}"
         )
     positions_array = np.asarray(frontier, dtype=np.int64)
-    # Vectorized isolated-seed check: sessions re-enter this function
-    # once per advance, so a per-walker Python loop of numpy scalar
-    # reads would tax every chunk.
-    if isinstance(graph, CSRGraph):
-        start_degrees = (
-            graph.indptr[positions_array + 1] - graph.indptr[positions_array]
-        )
-    else:
-        start_degrees = np.asarray(
-            [graph.degree(int(v)) for v in positions_array], dtype=np.int64
-        )
-    if positions_array.size and not start_degrees.all():
-        isolated = int(positions_array[int(np.argmin(start_degrees != 0))])
-        raise ValueError(
-            f"initial vertex {isolated} is isolated; FS cannot walk from it"
-        )
+    _check_frontier_start(graph, positions_array)
     positions = positions_array.tolist()
     degree_selection = walker_selection == "degree"
     uniforms = rng.random(steps if degree_selection else 2 * steps)
@@ -448,6 +453,123 @@ def run_metropolis(
         np.asarray(edge_targets, dtype=np.int64),
         np.asarray(visited, dtype=np.int64),
     )
+
+
+# ----------------------------------------------------------------------
+# fused walk+accumulate runners
+#
+# Each mirrors the plain runner above it draw for draw (same uniforms,
+# same transition arithmetic, bit-identical walker state) but folds the
+# eq. (7)/(9) sufficient statistics into a FusedBlock instead of
+# materializing step arrays.  The native path stays O(max_degree) in
+# scratch; the pure-Python fallback reuses the plain runner and folds
+# its arrays vectorized — O(steps) memory, but only correctness (not
+# the memory bound) is promised without native kernels.
+# ----------------------------------------------------------------------
+def run_random_walk_acc(
+    graph: GraphLike,
+    start: int,
+    steps: int,
+    rng: np.random.Generator,
+    block: FusedBlock,
+    native: Optional[bool] = None,
+) -> int:
+    """Fused SRW advance; accumulates into ``block``, returns final vertex."""
+    if graph.degree(start) == 0:
+        raise ValueError(f"cannot walk from isolated vertex {start}")
+    if _want_native(graph, native):
+        assert isinstance(graph, CSRGraph)
+        uniforms = rng.random(steps)
+        edge_buffer = block.new_edge_buffer(steps)
+        final = _native.rw_steps_acc(
+            graph.indptr, graph.indices, start, steps, uniforms,
+            block.key_base, block.deg_counts, block.visit_counts,
+            edge_buffer,
+        )
+        block.commit_edge_keys(edge_buffer, steps)
+        block.steps += steps
+        return final
+    sources, targets = run_random_walk(graph, start, steps, rng, native)
+    block.fold_step_arrays(degrees_array(graph), sources, targets)
+    return int(targets[-1]) if steps else int(start)
+
+
+def run_frontier_acc(
+    graph: GraphLike,
+    frontier: Sequence[int],
+    steps: int,
+    rng: np.random.Generator,
+    block: FusedBlock,
+    walker_selection: str = "degree",
+    native: Optional[bool] = None,
+) -> List[int]:
+    """Fused FS advance; accumulates into ``block``.
+
+    Returns the updated frontier (the same walker state
+    :func:`run_frontier` leaves behind).
+    """
+    if walker_selection not in ("degree", "uniform"):
+        raise ValueError(
+            "walker_selection must be 'degree' or 'uniform',"
+            f" got {walker_selection!r}"
+        )
+    if _want_native(graph, native):
+        assert isinstance(graph, CSRGraph)
+        positions_array = np.asarray(frontier, dtype=np.int64)
+        _check_frontier_start(graph, positions_array)
+        degree_selection = walker_selection == "degree"
+        uniforms = rng.random(steps if degree_selection else 2 * steps)
+        edge_buffer = block.new_edge_buffer(steps)
+        _native.fs_steps_acc(
+            graph.indptr, graph.indices, positions_array, steps,
+            degree_selection, uniforms, block.key_base, block.deg_counts,
+            block.visit_counts, edge_buffer,
+        )
+        block.commit_edge_keys(edge_buffer, steps)
+        block.steps += steps
+        return positions_array.tolist()
+    sources, targets, walkers = run_frontier(
+        graph, frontier, steps, rng, walker_selection, native
+    )
+    block.fold_step_arrays(degrees_array(graph), sources, targets)
+    positions = np.asarray(frontier, dtype=np.int64)
+    positions[walkers] = targets
+    return positions.tolist()
+
+
+def run_metropolis_acc(
+    graph: GraphLike,
+    start: int,
+    steps: int,
+    rng: np.random.Generator,
+    block: FusedBlock,
+    native: Optional[bool] = None,
+) -> int:
+    """Fused MH advance; accumulates accepted proposals into ``block``.
+
+    Returns the final vertex.  ``block.steps`` grows by the accepted
+    count — the streaming estimators consume accepted transitions only,
+    mirroring ``ArrayMetropolisTrace.step_targets``.
+    """
+    if graph.degree(start) == 0:
+        raise ValueError(f"cannot walk from isolated vertex {start}")
+    if _want_native(graph, native):
+        assert isinstance(graph, CSRGraph)
+        uniforms = rng.random(2 * steps)
+        edge_buffer = block.new_edge_buffer(steps)
+        accepted, final = _native.mh_steps_acc(
+            graph.indptr, graph.indices, start, steps, uniforms,
+            block.key_base, block.deg_counts, block.visit_counts,
+            edge_buffer,
+        )
+        block.commit_edge_keys(edge_buffer, accepted)
+        block.steps += accepted
+        return final
+    edge_sources, edge_targets, visited = run_metropolis(
+        graph, start, steps, rng, native
+    )
+    block.fold_step_arrays(degrees_array(graph), edge_sources, edge_targets)
+    return int(visited[-1]) if steps else int(start)
 
 
 def batch_walk_positions(

@@ -319,6 +319,19 @@ class TestVectorizedInternals:
         assert after is not before
         assert after[8] == 1
 
+    def test_degree_array_cache_is_bounded_lru(self):
+        graph = disconnected_graph()
+        latest = {}
+        for i in range(8):
+            graph.add_edge(i, i + 1)
+            latest[graph.version] = _vectorized.degrees_of(graph)
+        cache = graph._degree_array_cache
+        assert len(cache) == _vectorized._DEGREE_CACHE_VERSIONS
+        # The newest version survives the evictions (identity hit)...
+        assert _vectorized.degrees_of(graph) is latest[graph.version]
+        # ...and every retained entry is keyed by a version we saw.
+        assert set(cache) <= set(latest)
+
     def test_unique_edges_multiplicities(self):
         sources = np.array([2, 0, 2, 2], dtype=np.int64)
         targets = np.array([1, 1, 1, 0], dtype=np.int64)

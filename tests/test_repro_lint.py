@@ -588,7 +588,7 @@ class TestRuntimeSignatureCheck:
                 {"repro_missing": ("void", ())}, source
             )
 
-    def test_cproto_parses_all_three_kernels(self):
+    def test_cproto_parses_all_kernels(self):
         from repro.sampling import _cproto
 
         source = (
@@ -597,6 +597,11 @@ class TestRuntimeSignatureCheck:
         prototypes = _cproto.parse_prototypes(source)
         assert set(prototypes) == {
             "repro_rw_steps", "repro_fs_steps", "repro_mh_steps",
+            "repro_rw_steps_acc", "repro_fs_steps_acc",
+            "repro_mh_steps_acc",
         }
         assert prototypes["repro_rw_steps"].restype == "void"
         assert prototypes["repro_fs_steps"].argtypes[0] == "i64*"
+        # The fused FS kernel's trailing arg is the optional Fenwick
+        # scratch (NULL -> linear scan).
+        assert prototypes["repro_fs_steps_acc"].argtypes[-1] == "i64*"

@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Append one dated entry per CI run to the benchmark history ledger.
+
+``check_bench_trend.py`` answers "did this run regress vs the
+committed baseline?"; this tool keeps the longitudinal record that
+question throws away.  Each invocation reads a pytest-benchmark report
+(``BENCH_ci.json``) and appends a single JSON line to
+``benchmarks/BENCH_history.jsonl``::
+
+    {"date": "2026-08-08", "commit": "<sha>",
+     "reference": "test_fs_list_backend",
+     "medians": {"test_fs_csr_backend": 0.0012, ...},
+     "normalized": {"test_fs_csr_backend": 0.0249, ...}}
+
+``medians`` are raw seconds (machine-dependent; useful within one
+runner generation); ``normalized`` divides each gated benchmark's
+median by the reference walker's median from the same report, the
+machine-independent trend the baseline gate also uses.  The ledger is
+append-only JSONL so CI can `cat` it, plots can stream it, and a
+truncated line from a killed job corrupts at most itself.
+
+Usage:
+
+    python tools/bench_history.py --current BENCH_ci.json \\
+        [--history benchmarks/BENCH_history.jsonl] \\
+        [--commit $GITHUB_SHA] [--pattern test_fs_] \\
+        [--reference test_fs_list_backend]
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_HISTORY = REPO_ROOT / "benchmarks" / "BENCH_history.jsonl"
+DEFAULT_PATTERN = "test_fs_"
+DEFAULT_REFERENCE = "test_fs_list_backend"
+
+
+def extract_medians(report_path: Path, pattern: str) -> dict:
+    """``{benchmark name: median seconds}`` for benchmarks matching
+    ``pattern`` (plus the reference, which always qualifies via the
+    default pattern)."""
+    with open(report_path, "r", encoding="utf-8") as handle:
+        report = json.load(handle)
+    medians = {}
+    for bench in report.get("benchmarks", []):
+        name = bench.get("name", "")
+        if pattern in name:
+            medians[name] = float(bench["stats"]["median"])
+    return medians
+
+
+def history_entry(
+    medians: dict, commit: str, reference: str, date: str
+) -> dict:
+    reference_median = medians.get(reference)
+    normalized = {}
+    if reference_median:
+        normalized = {
+            name: median / reference_median
+            for name, median in sorted(medians.items())
+            if name != reference
+        }
+    return {
+        "date": date,
+        "commit": commit,
+        "reference": reference,
+        "medians": dict(sorted(medians.items())),
+        "normalized": normalized,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Append a benchmark report to the history ledger."
+    )
+    parser.add_argument("--current", required=True, type=Path)
+    parser.add_argument("--history", type=Path, default=DEFAULT_HISTORY)
+    parser.add_argument("--commit", default="unknown")
+    parser.add_argument("--pattern", default=DEFAULT_PATTERN)
+    parser.add_argument("--reference", default=DEFAULT_REFERENCE)
+    parser.add_argument(
+        "--date",
+        default=None,
+        help="ISO date stamp (default: today, UTC)",
+    )
+    args = parser.parse_args(argv)
+
+    medians = extract_medians(args.current, args.pattern)
+    if not medians:
+        print(
+            f"no benchmarks matching {args.pattern!r} in {args.current}",
+            file=sys.stderr,
+        )
+        return 1
+    date = args.date or datetime.datetime.now(
+        datetime.timezone.utc
+    ).strftime("%Y-%m-%d")
+    entry = history_entry(medians, args.commit, args.reference, date)
+    args.history.parent.mkdir(parents=True, exist_ok=True)
+    with open(args.history, "a", encoding="utf-8") as handle:
+        handle.write(json.dumps(entry, sort_keys=True) + "\n")
+    print(
+        f"appended {len(medians)} medians for {entry['commit'][:12]}"
+        f" ({entry['date']}) to {args.history}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
